@@ -1,0 +1,201 @@
+package futurerd_test
+
+// This file regenerates the paper's evaluation as Go benchmarks: one
+// benchmark family per table/figure of §6. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration performs one complete workload run in the named
+// configuration, so ns/op is directly the configuration's wall time;
+// compare the Fig6/Fig7/Fig8 families against the rendered tables from
+// cmd/futurerd-bench (which also prints overhead ratios and geomeans).
+// Sizes here are workloads.SizeQuick to keep -bench=. tractable; the
+// shapes match the full-size harness.
+
+import (
+	"fmt"
+	"testing"
+
+	"futurerd"
+	"futurerd/internal/workloads"
+)
+
+// configs are the four evaluation configurations of the paper (§6).
+// The baseline entry disables detection entirely; the other three use
+// the figure's algorithm with increasing memory-pipeline levels.
+var configs = []struct {
+	name     string
+	baseline bool
+	mem      futurerd.MemLevel
+}{
+	{"baseline", true, futurerd.MemOff},
+	{"reachability", false, futurerd.MemOff},
+	{"instrumentation", false, futurerd.MemInstr},
+	{"full", false, futurerd.MemFull},
+}
+
+func runConfig(b *testing.B, ins workloads.Instance, mode futurerd.Mode, mem futurerd.MemLevel) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if mode == futurerd.ModeNone {
+			futurerd.RunSeq(ins.Run)
+			continue
+		}
+		rep := futurerd.Detect(futurerd.Config{Mode: mode, Mem: mem}, ins.Run)
+		if rep.Err != nil {
+			b.Fatal(rep.Err)
+		}
+		if rep.Racy() {
+			b.Fatalf("%s: unexpected race: %v", ins.Name(), rep.Races[0])
+		}
+	}
+}
+
+// figureBench runs the 6-benchmark × 4-configuration grid of Figure 6 or 7.
+func figureBench(b *testing.B, mode futurerd.Mode, general bool) {
+	for _, wb := range workloads.All(workloads.SizeQuick) {
+		mk := wb.Structured
+		if general && wb.General != nil {
+			mk = wb.General
+		}
+		for _, cf := range configs {
+			m := mode
+			if cf.baseline {
+				m = futurerd.ModeNone
+			}
+			b.Run(fmt.Sprintf("%s/%s", wb.Name, cf.name), func(b *testing.B) {
+				ins := mk()
+				b.ResetTimer()
+				runConfig(b, ins, m, cf.mem)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: structured-future variants under
+// MultiBags, four configurations each.
+func BenchmarkFig6(b *testing.B) {
+	figureBench(b, futurerd.ModeMultiBags, false)
+}
+
+// BenchmarkFig7 regenerates Figure 7: general-future variants under
+// MultiBags+.
+func BenchmarkFig7(b *testing.B) {
+	figureBench(b, futurerd.ModeMultiBagsPlus, true)
+}
+
+// BenchmarkFig8 regenerates Figure 8: reachability-only overhead of
+// MultiBags vs MultiBags+ on structured programs as the base case shrinks
+// (the future count k grows).
+func BenchmarkFig8(b *testing.B) {
+	rows := []struct {
+		name string
+		mk   func() workloads.Instance
+	}{
+		{"lcs/B=64", func() workloads.Instance {
+			return workloads.NewLCS(256, 64, workloads.StructuredFutures, 1)
+		}},
+		{"lcs/B=32", func() workloads.Instance {
+			return workloads.NewLCS(256, 32, workloads.StructuredFutures, 1)
+		}},
+		{"lcs/B=16", func() workloads.Instance {
+			return workloads.NewLCS(256, 16, workloads.StructuredFutures, 1)
+		}},
+		{"sw/B=8", func() workloads.Instance {
+			return workloads.NewSW(64, 8, workloads.StructuredFutures, 2)
+		}},
+		{"mm/B=8", func() workloads.Instance {
+			return workloads.NewMM(64, 8, workloads.StructuredFutures, 3)
+		}},
+	}
+	algos := []struct {
+		name string
+		mode futurerd.Mode
+	}{
+		{"multibags", futurerd.ModeMultiBags},
+		{"multibags+", futurerd.ModeMultiBagsPlus},
+	}
+	for _, r := range rows {
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("%s/%s", r.name, a.name), func(b *testing.B) {
+				ins := r.mk()
+				b.ResetTimer()
+				runConfig(b, ins, a.mode, futurerd.MemOff)
+			})
+		}
+	}
+}
+
+// BenchmarkReachabilityOps isolates the reachability data structures: the
+// cost of maintaining bags (MultiBags) and bags+R (MultiBags+) per
+// parallel construct, on a construct-dense future chain with no memory
+// traffic. This is the microbenchmark behind the paper's claim that
+// "operations on the disjoint-sets data structure are very efficient".
+func BenchmarkReachabilityOps(b *testing.B) {
+	chain := func(n int) func(*futurerd.Task) {
+		return func(t *futurerd.Task) {
+			prev := futurerd.Async(t, func(*futurerd.Task) int { return 0 })
+			for i := 1; i < n; i++ {
+				p := prev
+				prev = futurerd.Async(t, func(ft *futurerd.Task) int {
+					return p.Get(ft) + 1
+				})
+			}
+			prev.Get(t)
+		}
+	}
+	const n = 2000
+	for _, a := range []struct {
+		name string
+		mode futurerd.Mode
+	}{
+		{"multibags", futurerd.ModeMultiBags},
+		{"multibags+", futurerd.ModeMultiBagsPlus},
+		{"oracle", futurerd.ModeOracle},
+	} {
+		b.Run(a.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := futurerd.Detect(futurerd.Config{Mode: a.mode}, chain(n))
+				if rep.Err != nil {
+					b.Fatal(rep.Err)
+				}
+			}
+			b.ReportMetric(float64(n), "futures/op")
+		})
+	}
+}
+
+// BenchmarkAccessHistory isolates the §3 access-history protocol: per
+// write-then-read pair cost under full detection with a trivial dag.
+func BenchmarkAccessHistory(b *testing.B) {
+	arr := futurerd.NewArray[int64](4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := futurerd.Detect(futurerd.Config{
+			Mode: futurerd.ModeMultiBags, Mem: futurerd.MemFull,
+		}, func(t *futurerd.Task) {
+			for j := 0; j < arr.Len(); j++ {
+				arr.Set(t, j, int64(j))
+				arr.Get(t, j)
+			}
+		})
+		if rep.Racy() {
+			b.Fatal("unexpected race")
+		}
+	}
+}
+
+// BenchmarkParallelSpeedup measures the work-stealing scheduler against
+// sequential execution on the lcs wavefront, documenting that the same
+// programs the detector checks actually scale.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ins := workloads.NewLCS(512, 32, workloads.StructuredFutures, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				futurerd.Run(workers, ins.Run)
+			}
+		})
+	}
+}

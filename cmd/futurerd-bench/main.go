@@ -1,0 +1,67 @@
+// Command futurerd-bench regenerates the paper's evaluation tables
+// (Figures 6, 7 and 8 of "Efficient Race Detection with Futures",
+// PPoPP'19) on this implementation.
+//
+// Usage:
+//
+//	futurerd-bench [-table fig6|fig7|fig8|all] [-iters n]
+//	               [-size test|quick|bench] [-validate]
+//
+// Times are printed in seconds with overheads relative to the baseline
+// configuration; see EXPERIMENTS.md for the recorded comparison against
+// the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"futurerd/internal/bench"
+	"futurerd/internal/workloads"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to run: fig6, fig7, fig8, all")
+	iters := flag.Int("iters", 3, "timed repetitions per configuration (minimum is reported)")
+	size := flag.String("size", "bench", "input scale: test, quick, bench")
+	validate := flag.Bool("validate", false, "re-validate outputs against sequential references")
+	flag.Parse()
+
+	var sz workloads.SizeClass
+	switch *size {
+	case "test":
+		sz = workloads.SizeTest
+	case "quick":
+		sz = workloads.SizeQuick
+	case "bench":
+		sz = workloads.SizeBench
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -size %q\n", *size)
+		os.Exit(2)
+	}
+	opts := bench.Options{Iters: *iters, Size: sz, Validate: *validate}
+
+	type gen struct {
+		name string
+		run  func(bench.Options) (*bench.Table, error)
+	}
+	gens := []gen{{"fig6", bench.Fig6}, {"fig7", bench.Fig7}, {"fig8", bench.Fig8}}
+	ran := false
+	for _, g := range gens {
+		if *table != "all" && *table != g.name {
+			continue
+		}
+		ran = true
+		t, err := g.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", g.name, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown -table %q (want fig6, fig7, fig8 or all)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,176 @@
+// Command futurerd-trace runs one benchmark under a chosen detection
+// algorithm and prints the execution's structural statistics: strands,
+// function instances, parallel constructs, reachability data-structure
+// traffic (union-find operations, attached sets, R arcs, transitive
+// closure size) and access-history traffic. With -dot it additionally
+// emits the full computation dag in Graphviz format (oracle mode only —
+// the other algorithms never materialize the dag; that is their point).
+//
+// Usage:
+//
+//	futurerd-trace -bench lcs [-variant structured|general]
+//	               [-mode multibags|multibags+|spbags|oracle]
+//	               [-size test|quick|bench] [-mem off|instr|full] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"futurerd"
+	"futurerd/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "lcs", "benchmark: lcs, sw, mm, heartwall, dedup, bst")
+	variant := flag.String("variant", "structured", "workload variant: structured, general")
+	mode := flag.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle")
+	size := flag.String("size", "quick", "input scale: test, quick, bench")
+	mem := flag.String("mem", "full", "memory level: off, instr, full")
+	dot := flag.Bool("dot", false, "dump the computation dag as Graphviz (oracle mode)")
+	record := flag.String("record", "", "record the workload's event trace to this file instead of detecting")
+	replay := flag.String("replay", "", "detect a trace file recorded with -record instead of running a workload")
+	flag.Parse()
+
+	sz := map[string]workloads.SizeClass{
+		"test": workloads.SizeTest, "quick": workloads.SizeQuick, "bench": workloads.SizeBench,
+	}[*size]
+	b, err := workloads.Lookup(*benchName, sz)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mk := b.Structured
+	if *variant == "general" {
+		if b.General == nil {
+			fmt.Fprintf(os.Stderr, "%s has no general variant\n", b.Name)
+			os.Exit(2)
+		}
+		mk = b.General
+	}
+	var m futurerd.Mode
+	switch *mode {
+	case "multibags":
+		m = futurerd.ModeMultiBags
+	case "multibags+":
+		m = futurerd.ModeMultiBagsPlus
+	case "spbags":
+		m = futurerd.ModeSPBags
+	case "oracle":
+		m = futurerd.ModeOracle
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var ml futurerd.MemLevel
+	switch *mem {
+	case "off":
+		ml = futurerd.MemOff
+	case "instr":
+		ml = futurerd.MemInstr
+	case "full":
+		ml = futurerd.MemFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mem %q\n", *mem)
+		os.Exit(2)
+	}
+
+	var rep *futurerd.Report
+	var ins interface {
+		Name() string
+		Validate() error
+	}
+	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rep, err = futurerd.ReplayTrace(f, futurerd.Config{Mode: m, Mem: ml})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload        trace %s\n", *replay)
+	case *record != "":
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := mk()
+		if err := futurerd.RecordTrace(f, w.Run); err != nil {
+			fmt.Fprintf(os.Stderr, "record failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, _ := os.Stat(*record)
+		fmt.Printf("recorded %s (%s) to %s (%d bytes)\n", w.Name(), *variant, *record, st.Size())
+		return
+	default:
+		w := mk()
+		ins = w
+		rep = futurerd.Detect(futurerd.Config{Mode: m, Mem: ml}, w.Run)
+	}
+	if rep.Err != nil {
+		fmt.Fprintf(os.Stderr, "engine error: %v\n", rep.Err)
+		os.Exit(1)
+	}
+	if ins != nil {
+		if err := ins.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "validation failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload        %s\n", ins.Name())
+	}
+
+	s := rep.Stats
+	fmt.Printf("algorithm       %s (%s)\n", rep.Algorithm, ml)
+	fmt.Printf("strands         %d\n", s.Strands)
+	fmt.Printf("functions       %d\n", s.Functions)
+	fmt.Printf("spawns          %d\n", s.Spawns)
+	fmt.Printf("creates         %d\n", s.Creates)
+	fmt.Printf("gets            %d\n", s.Gets)
+	fmt.Printf("syncs           %d\n", s.Syncs)
+	fmt.Printf("races           %d distinct addrs, %d reported\n", len(rep.Races), s.RaceCount)
+	fmt.Printf("reach queries   %d\n", s.Reach.Queries)
+	fmt.Printf("uf finds        %d\n", s.Reach.Finds)
+	fmt.Printf("uf unions       %d\n", s.Reach.Unions)
+	if s.Reach.AttachedSets > 0 {
+		fmt.Printf("attached sets   %d\n", s.Reach.AttachedSets)
+		fmt.Printf("R arcs          %d\n", s.Reach.RArcs)
+		fmt.Printf("R closure       %d words (%.1f KiB)\n",
+			s.Reach.RCloseWords, float64(s.Reach.RCloseWords)/128)
+		fmt.Printf("sync cases      neither=%d both=%d mixed=%d\n",
+			s.Reach.SyncNeither, s.Reach.SyncBoth, s.Reach.SyncMixed)
+	}
+	if ml != futurerd.MemOff {
+		fmt.Printf("shadow reads    %d\n", s.Shadow.Reads)
+		fmt.Printf("shadow writes   %d\n", s.Shadow.Writes)
+		fmt.Printf("reader appends  %d\n", s.Shadow.ReaderAppends)
+		fmt.Printf("reader flushes  %d\n", s.Shadow.ReaderFlushes)
+		fmt.Printf("shadow pages    %d\n", s.Shadow.TouchedPages)
+	}
+	for _, r := range rep.Races {
+		fmt.Printf("  %s\n", r)
+	}
+
+	if *dot {
+		if m != futurerd.ModeOracle || *replay != "" {
+			fmt.Fprintln(os.Stderr, "-dot requires -mode oracle on a direct workload run")
+			os.Exit(2)
+		}
+		dag, err := futurerd.DetectDAG(mk().Run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(dag)
+	}
+}

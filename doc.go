@@ -1,0 +1,64 @@
+// Package futurerd is a task-parallel programming library with built-in,
+// provably efficient on-the-fly determinacy-race detection for programs
+// that use futures. It is a from-scratch Go implementation of the system
+// described in
+//
+//	Robert Utterback, Kunal Agrawal, Jeremy Fineman, I-Ting Angelina Lee.
+//	"Efficient Race Detection with Futures". PPoPP 2019.
+//	https://doi.org/10.1145/3293883.3295732
+//
+// # Programming model
+//
+// Programs express parallelism with four constructs on a Task handle
+// (§2 of the paper):
+//
+//   - Task.Spawn(f): fork f; it is logically parallel with the caller's
+//     continuation until the next Sync.
+//   - Task.Sync(): join all children spawned in this function instance.
+//   - Async / Task.CreateFut(body): start body as a future. Futures
+//     escape Sync; they are joined only by Get.
+//   - Future.Get / Task.GetFut(h): join the future and obtain its value.
+//
+// Memory that should be covered by race detection lives in instrumented
+// containers (Array, Matrix, Var) backed by a process-wide virtual
+// address space, or is reported manually via Task.Read/Task.Write.
+//
+// # Detection
+//
+// Detect executes the program sequentially in depth-first eager order and
+// reports a determinacy race if and only if one exists (for the given
+// input), using one of:
+//
+//   - MultiBags (§4): for structured futures — every handle is touched by
+//     Get at most once and its creation sequentially precedes the Get.
+//     Runs in O(T1·α(m,n)).
+//   - MultiBags+ (§5): for arbitrary (multi-touch, escaping) futures.
+//     Runs in O((T1+k²)·α(m,n)) for k Get operations.
+//   - SP-Bags: the classic fork-join detector, provided as a baseline
+//     (unsound when futures are used).
+//   - Oracle: brute-force dag reachability, for tests.
+//
+// # Parallel execution
+//
+// The same program runs in parallel — without detection — on the bundled
+// work-stealing scheduler via Run. The intended workflow is the paper's:
+// debug with Detect on small inputs, then deploy with Run.
+//
+// # Quick start
+//
+//	counter := futurerd.NewVar[int]()
+//	rep := futurerd.Detect(futurerd.Config{
+//		Mode: futurerd.ModeMultiBags,
+//		Mem:  futurerd.MemFull,
+//	}, func(t *futurerd.Task) {
+//		f := futurerd.Async(t, func(t *futurerd.Task) int {
+//			counter.Set(t, 1) // runs in parallel with the write below
+//			return 42
+//		})
+//		counter.Set(t, 2) // ← determinacy race
+//		_ = f.Get(t)
+//	})
+//	for _, r := range rep.Races {
+//		fmt.Println(r)
+//	}
+package futurerd

@@ -1,0 +1,68 @@
+// Quickstart: detect a determinacy race in a small future program, fix
+// it, and confirm the fix — the library's core debugging loop.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"futurerd"
+)
+
+// account simulates shared state updated by a background future while the
+// main task also writes it.
+func transfer(balance *futurerd.Var[int], synchronize bool) *futurerd.Report {
+	return futurerd.Detect(futurerd.Config{
+		Mode: futurerd.ModeMultiBags, // the program uses structured futures
+		Mem:  futurerd.MemFull,
+	}, func(t *futurerd.Task) {
+		t.Label("main")
+
+		// A future credits interest in the background.
+		interest := futurerd.Async(t, func(ft *futurerd.Task) int {
+			ft.Label("interest-worker")
+			b := balance.Get(ft)
+			balance.Set(ft, b+b/10)
+			return b / 10
+		})
+
+		if synchronize {
+			// Correct: join the future before touching the balance.
+			earned := interest.Get(t)
+			balance.Set(t, balance.Get(t)-42)
+			fmt.Printf("  earned %d interest\n", earned)
+		} else {
+			// Buggy: the withdrawal races with the interest worker.
+			balance.Set(t, balance.Get(t)-42)
+			interest.Get(t)
+		}
+	})
+}
+
+func main() {
+	fmt.Println("== buggy version (withdrawal runs parallel with the interest future)")
+	balance := futurerd.NewVar[int]()
+	futurerd.RunSeq(func(t *futurerd.Task) { balance.Set(t, 1000) })
+	rep := transfer(balance, false)
+	fmt.Printf("  races found: %d\n", len(rep.Races))
+	for _, r := range rep.Races {
+		fmt.Printf("  %s\n", r)
+	}
+
+	fmt.Println("== fixed version (get the future first)")
+	rep = transfer(balance, true)
+	fmt.Printf("  races found: %d\n", len(rep.Races))
+	if !rep.Racy() {
+		fmt.Println("  race free — safe to run in parallel:")
+		futurerd.Run(0, func(t *futurerd.Task) {
+			f := futurerd.Async(t, func(ft *futurerd.Task) int {
+				b := balance.Get(ft)
+				balance.Set(ft, b+b/10)
+				return b / 10
+			})
+			f.Get(t)
+			fmt.Printf("  final balance: %d\n", balance.Get(t))
+		})
+	}
+}

@@ -1,0 +1,166 @@
+// Package core implements the paper's primary contribution: the MultiBags
+// and MultiBags+ reachability algorithms (PPoPP'19, Utterback et al.,
+// "Efficient Race Detection with Futures"), plus the classic SP-Bags
+// baseline (Feng & Leiserson 1997) for series-parallel programs.
+//
+// The detection engine (internal/detect) executes the program sequentially
+// in depth-first eager order and reports every parallel construct to a
+// Reach implementation through the event records below. A strand is a
+// maximal instruction sequence containing no parallel control; the engine
+// cuts strands exactly at the places the paper's computation dag has
+// nodes with two in- or out-edges.
+package core
+
+// StrandID identifies a strand (a node of the computation dag Gfull).
+// Strand 0 is reserved as "none"; valid ids start at 1.
+type StrandID uint32
+
+// NoStrand is the zero StrandID, meaning "no strand".
+const NoStrand StrandID = 0
+
+// FnID identifies a function instance (a dynamic call created by spawn or
+// create_fut, or the main function). Function 0 is reserved; valid ids
+// start at 1.
+type FnID uint32
+
+// NoFn is the zero FnID.
+const NoFn FnID = 0
+
+// SpawnRec describes a spawn construct. The strand Fork ends with the
+// spawn instruction and has two outgoing edges: to ChildFirst (the first
+// strand of the spawned function) and to ContFirst (the continuation
+// strand in the parent, which executes after the child returns under
+// depth-first eager order but is logically parallel with it).
+type SpawnRec struct {
+	ParentFn   FnID
+	ChildFn    FnID
+	Fork       StrandID // strand ending with the spawn
+	ChildFirst StrandID // first strand of the child
+	ContFirst  StrandID // continuation strand in the parent
+}
+
+// CreateRec describes a create_fut construct. Creator ends with the
+// create_fut call; FutFirst is the source of the future's new SP dag;
+// ContFirst is the continuation in the creating function.
+type CreateRec struct {
+	ParentFn  FnID
+	FutFn     FnID
+	Creator   StrandID // strand ending with create_fut
+	FutFirst  StrandID // first strand of the future function
+	ContFirst StrandID // continuation strand in the parent
+}
+
+// ReturnRec reports that function Fn finished executing; Last is its final
+// strand (the sink of its SP dag). ParentFn is the function that spawned
+// or created Fn (needed by the SP-Bags baseline, whose return rule moves
+// the child's bag into the parent's P-bag).
+type ReturnRec struct {
+	Fn       FnID
+	ParentFn FnID
+	Last     StrandID
+}
+
+// JoinRec describes one binary join of a sync. A sync joining c children
+// is decomposed into c binary joins processed innermost (most recent
+// spawn) first, per the paper's footnote 2. Fork is the strand that ended
+// with the corresponding spawn; ChildFirst/ContFirst are the two branch
+// sources; ChildLast/ContLast the two branch sinks; Join is the fresh
+// strand beginning after this binary join.
+type JoinRec struct {
+	Fn         FnID
+	ChildFn    FnID
+	Fork       StrandID
+	ChildFirst StrandID
+	ContFirst  StrandID
+	ChildLast  StrandID
+	ContLast   StrandID
+	Join       StrandID
+}
+
+// GetRec describes a get_fut construct. Getter is the strand that ended
+// with the get_fut call; FutLast is the last strand of the future being
+// joined; Cont is the getter strand (the strand immediately following,
+// with two incoming edges).
+type GetRec struct {
+	Fn      FnID
+	FutFn   FnID
+	Getter  StrandID // strand ending with get_fut
+	FutLast StrandID // last strand of the future function
+	Cont    StrandID // strand beginning after the get
+	Creator StrandID // strand that created the future (for discipline checks)
+	Touch   int      // 1 for the first get on this handle, 2 for the second...
+}
+
+// Reach maintains and queries the reachability relation of the unfolding
+// computation dag. Implementations: MultiBags (structured futures),
+// MultiBagsPlus (general futures), SPBags (series-parallel baseline), and
+// graph.Recorder (the brute-force oracle used in tests).
+//
+// All methods are called from the single detection thread; implementations
+// need not be safe for concurrent use.
+type Reach interface {
+	// Init announces the main function and its first strand.
+	Init(mainFn FnID, mainStrand StrandID)
+	// Spawn, CreateFut, Return, SyncJoin and GetFut mirror the parallel
+	// constructs, in program execution order.
+	Spawn(SpawnRec)
+	CreateFut(CreateRec)
+	Return(ReturnRec)
+	SyncJoin(JoinRec)
+	GetFut(GetRec)
+	// Precedes reports whether u is sequentially before the currently
+	// executing strand v (u ≺ v in Gfull). u must have started executing
+	// already; v must be the currently executing strand — the algorithms
+	// exploit this restriction, as does the paper.
+	Precedes(u, v StrandID) bool
+	// Name identifies the algorithm for reports and benchmarks.
+	Name() string
+	// Stats returns data-structure traffic counters.
+	Stats() ReachStats
+}
+
+// ReachStats aggregates data-structure traffic for reporting.
+type ReachStats struct {
+	Finds         uint64 // union-find Find operations
+	Unions        uint64 // union-find Union operations
+	Queries       uint64 // Precedes calls
+	AttachedSets  uint64 // attached sets created (MultiBags+ only)
+	RArcs         uint64 // arcs inserted into R (MultiBags+ only)
+	RCloseWords   uint64 // 64-bit words held by R's transitive closure
+	StrandsSeen   uint64
+	FunctionsSeen uint64
+
+	// MultiBags+ sync-case counters (Figure 4 lines 29–32 / 33–40 /
+	// 41–46), used by tests to prove all three paths are exercised and by
+	// the harness to characterize workloads.
+	SyncNeither uint64
+	SyncBoth    uint64
+	SyncMixed   uint64
+}
+
+// StrandTable maps strands to their owning function instance. The
+// detection engine owns one table per run and shares it with the Reach
+// implementation, so the mapping is stored once.
+type StrandTable struct {
+	fn []FnID // indexed by StrandID
+}
+
+// NewStrandTable returns a table with capacity hint n strands.
+func NewStrandTable(n int) *StrandTable {
+	return &StrandTable{fn: make([]FnID, 1, n+1)}
+}
+
+// Add registers strand s as belonging to function f. Strands must be added
+// in id order (the engine allocates them densely).
+func (t *StrandTable) Add(s StrandID, f FnID) {
+	if int(s) != len(t.fn) {
+		panic("core: strands must be registered densely in order")
+	}
+	t.fn = append(t.fn, f)
+}
+
+// FnOf returns the function instance owning strand s.
+func (t *StrandTable) FnOf(s StrandID) FnID { return t.fn[s] }
+
+// Len returns the number of registered strands (excluding the reserved 0).
+func (t *StrandTable) Len() int { return len(t.fn) - 1 }

@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+func TestStrandTable(t *testing.T) {
+	st := NewStrandTable(4)
+	if st.Len() != 0 {
+		t.Fatalf("fresh table Len = %d", st.Len())
+	}
+	st.Add(1, 10)
+	st.Add(2, 10)
+	st.Add(3, 11)
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	if st.FnOf(1) != 10 || st.FnOf(3) != 11 {
+		t.Fatal("FnOf wrong")
+	}
+}
+
+func TestStrandTableDensePanic(t *testing.T) {
+	st := NewStrandTable(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add must panic: the engine relies on dense ids")
+		}
+	}()
+	st.Add(2, 1) // skips id 1
+}
+
+func TestStrandTableGrowth(t *testing.T) {
+	st := NewStrandTable(1)
+	for s := StrandID(1); s <= 10000; s++ {
+		st.Add(s, FnID(s%7))
+	}
+	if st.Len() != 10000 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if st.FnOf(9999) != FnID(9999%7) {
+		t.Fatal("FnOf after growth wrong")
+	}
+}

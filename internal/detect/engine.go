@@ -1,0 +1,404 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"futurerd/internal/core"
+	"futurerd/internal/graph"
+	"futurerd/internal/shadow"
+)
+
+// ErrFutureNotReady is wrapped into Report.Err when a get_fut runs before
+// its future was created or finished: under depth-first eager execution
+// this means the original program can deadlock (§2, forward-pointing
+// futures), so detection stops at that point, as in the paper.
+var ErrFutureNotReady = errors.New("get_fut on a future that has not completed; " +
+	"the program is not forward-pointing and could deadlock")
+
+// engineFailure carries an engine error through panic/recover without
+// masking genuine panics from user code.
+type engineFailure struct{ err error }
+
+// Engine is the sequential depth-first eager detection engine.
+type Engine struct {
+	cfg   Config
+	st    *core.StrandTable
+	reach core.Reach
+	hist  *shadow.History
+
+	detecting bool // Mode != ModeNone
+	mem       MemLevel
+
+	nextStrand core.StrandID
+	nextFn     core.FnID
+	curStrand  core.StrandID
+	prec       func(core.StrandID) bool
+
+	labels map[core.FnID]string
+
+	races      []Race
+	raceSeen   map[uint64]struct{}
+	raceCount  uint64
+	maxRaces   int
+	violations []Violation
+
+	spawns, creates, gets, syncs uint64
+	err                          error
+}
+
+// NewEngine builds an engine for one run. Engines are single-use.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{
+		cfg:       cfg,
+		detecting: cfg.Mode != ModeNone,
+		mem:       cfg.Mem,
+		maxRaces:  cfg.MaxRaces,
+	}
+	if e.maxRaces <= 0 {
+		e.maxRaces = DefaultMaxRaces
+	}
+	if !e.detecting {
+		return e
+	}
+	e.st = core.NewStrandTable(1024)
+	switch cfg.Mode {
+	case ModeSPBags:
+		e.reach = core.NewSPBags(e.st)
+	case ModeMultiBags:
+		e.reach = core.NewMultiBags(e.st)
+	case ModeMultiBagsPlus:
+		e.reach = core.NewMultiBagsPlus(e.st)
+	case ModeOracle:
+		e.reach = graph.NewRecorder(e.st)
+	default:
+		panic(fmt.Sprintf("detect: unknown mode %v", cfg.Mode))
+	}
+	if cfg.Verify && cfg.Mode != ModeOracle {
+		if mbp, ok := e.reach.(*core.MultiBagsPlus); ok {
+			mbp.CheckInvariants = true
+		}
+		e.reach = &verifyReach{
+			algo:   e.reach,
+			oracle: graph.NewRecorder(e.st),
+			eng:    e,
+		}
+	}
+	if cfg.Mem != MemOff {
+		e.hist = shadow.NewHistory()
+	}
+	e.raceSeen = make(map[uint64]struct{})
+	e.prec = func(u core.StrandID) bool { return e.reach.Precedes(u, e.curStrand) }
+	return e
+}
+
+// Run executes root under the engine and returns the report.
+func (e *Engine) Run(root func(*Task)) *Report {
+	t := &Task{ex: e}
+	if e.detecting {
+		t.fn = e.newFn()
+		t.strand = e.newStrand(t.fn)
+		e.curStrand = t.strand
+		e.reach.Init(t.fn, t.strand)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if f, ok := r.(engineFailure); ok {
+					e.err = f.err
+					return
+				}
+				panic(r)
+			}
+		}()
+		root(t)
+		e.Sync(t) // implicit sync at the end of main
+	}()
+	return e.report()
+}
+
+func (e *Engine) report() *Report {
+	if v, ok := e.reach.(*verifyReach); ok {
+		if mbp, ok := v.algo.(*core.MultiBagsPlus); ok {
+			for _, s := range mbp.Violations {
+				e.violate("structural-invariant", s)
+			}
+		}
+	}
+	rep := &Report{
+		Races:      e.races,
+		Violations: e.violations,
+		Err:        e.err,
+		Algorithm:  e.cfg.Mode.String(),
+	}
+	rep.Stats = Stats{
+		Spawns: e.spawns, Creates: e.creates, Gets: e.gets, Syncs: e.syncs,
+		RaceCount: e.raceCount,
+	}
+	if e.detecting {
+		rep.Stats.Strands = e.st.Len()
+		rep.Stats.Functions = int(e.nextFn)
+		rep.Stats.Reach = e.reach.Stats()
+	}
+	if e.hist != nil {
+		rep.Stats.Shadow = e.hist.Stats()
+	}
+	return rep
+}
+
+func (e *Engine) fail(err error) { panic(engineFailure{err}) }
+
+// DAG runs root under the oracle recorder and returns the recorded
+// computation dag in Graphviz DOT format. Useful for visualizing small
+// programs; the dag has one node per strand.
+func DAG(root func(*Task)) (string, error) {
+	e := NewEngine(Config{Mode: ModeOracle})
+	rep := e.Run(root)
+	if rep.Err != nil {
+		return "", rep.Err
+	}
+	return e.reach.(*graph.Recorder).DOT(), nil
+}
+
+func (e *Engine) newFn() core.FnID {
+	e.nextFn++
+	return e.nextFn
+}
+
+func (e *Engine) newStrand(fn core.FnID) core.StrandID {
+	e.nextStrand++
+	e.st.Add(e.nextStrand, fn)
+	return e.nextStrand
+}
+
+// Label attaches a human-readable label to the current function instance
+// of t (the task's whole body); races involving any of its strands carry
+// it. No-op when not detecting.
+func (e *Engine) Label(t *Task, label string) {
+	if !e.detecting {
+		return
+	}
+	if e.labels == nil {
+		e.labels = make(map[core.FnID]string)
+	}
+	e.labels[t.fn] = label
+}
+
+// Spawn implements Executor.
+func (e *Engine) Spawn(t *Task, f func(*Task)) {
+	e.spawns++
+	if !e.detecting {
+		f(&Task{ex: e})
+		return
+	}
+	fork := t.strand
+	childFn := e.newFn()
+	childFirst := e.newStrand(childFn)
+	cont := e.newStrand(t.fn)
+	e.reach.Spawn(core.SpawnRec{
+		ParentFn: t.fn, ChildFn: childFn,
+		Fork: fork, ChildFirst: childFirst, ContFirst: cont,
+	})
+	child := &Task{ex: e, fn: childFn, strand: childFirst}
+	e.curStrand = childFirst
+	f(child)
+	e.Sync(child) // implicit sync at function end
+	childLast := child.strand
+	e.reach.Return(core.ReturnRec{Fn: childFn, ParentFn: t.fn, Last: childLast})
+	t.spawns = append(t.spawns, spawnRec{
+		childFn: childFn, fork: fork, childFirst: childFirst,
+		cont: cont, childLast: childLast,
+	})
+	t.strand = cont
+	e.curStrand = cont
+}
+
+// Sync implements Executor: it decomposes the join into one binary join
+// per outstanding child, innermost (most recently spawned) first.
+func (e *Engine) Sync(t *Task) {
+	e.syncs++
+	if !e.detecting || len(t.spawns) == 0 {
+		t.spawns = t.spawns[:0]
+		return
+	}
+	cur := t.strand
+	for i := len(t.spawns) - 1; i >= 0; i-- {
+		r := t.spawns[i]
+		j := e.newStrand(t.fn)
+		e.reach.SyncJoin(core.JoinRec{
+			Fn: t.fn, ChildFn: r.childFn,
+			Fork: r.fork, ChildFirst: r.childFirst, ContFirst: r.cont,
+			ChildLast: r.childLast, ContLast: cur, Join: j,
+		})
+		cur = j
+	}
+	t.spawns = t.spawns[:0]
+	t.strand = cur
+	e.curStrand = cur
+}
+
+// CreateFut implements Executor. Under eager execution the body runs to
+// completion immediately; the continuation strand is still logically
+// parallel with it.
+func (e *Engine) CreateFut(t *Task, body func(*Task) any) *Fut {
+	e.creates++
+	if !e.detecting {
+		h := &Fut{}
+		h.Complete(body(&Task{ex: e}))
+		return h
+	}
+	creator := t.strand
+	futFn := e.newFn()
+	futFirst := e.newStrand(futFn)
+	cont := e.newStrand(t.fn)
+	e.reach.CreateFut(core.CreateRec{
+		ParentFn: t.fn, FutFn: futFn,
+		Creator: creator, FutFirst: futFirst, ContFirst: cont,
+	})
+	h := &Fut{fn: futFn, creatorStrand: creator, first: futFirst}
+	child := &Task{ex: e, fn: futFn, strand: futFirst}
+	e.curStrand = futFirst
+	h.val = body(child)
+	e.Sync(child) // implicit sync at function end
+	h.last = child.strand
+	h.done = true
+	e.reach.Return(core.ReturnRec{Fn: futFn, ParentFn: t.fn, Last: h.last})
+	t.strand = cont
+	e.curStrand = cont
+	return h
+}
+
+// GetFut implements Executor.
+func (e *Engine) GetFut(t *Task, h *Fut) any {
+	e.gets++
+	if h == nil {
+		e.fail(fmt.Errorf("%w (nil handle)", ErrFutureNotReady))
+	}
+	if !e.detecting {
+		return h.val
+	}
+	if !h.done {
+		e.fail(ErrFutureNotReady)
+	}
+	getter := t.strand
+	h.touches++
+	if e.cfg.CheckStructured {
+		if h.touches == 2 {
+			e.violate("multi-touch", fmt.Sprintf(
+				"future fn %d touched more than once (second get at strand %d)",
+				h.fn, getter))
+		}
+		if !e.reach.Precedes(h.creatorStrand, getter) {
+			e.violate("unordered-create-get", fmt.Sprintf(
+				"create at strand %d does not sequentially precede get at strand %d",
+				h.creatorStrand, getter))
+		}
+	}
+	cont := e.newStrand(t.fn)
+	e.reach.GetFut(core.GetRec{
+		Fn: t.fn, FutFn: h.fn,
+		Getter: getter, FutLast: h.last, Cont: cont,
+		Creator: h.creatorStrand, Touch: h.touches,
+	})
+	t.strand = cont
+	e.curStrand = cont
+	return h.val
+}
+
+func (e *Engine) violate(kind, detail string) {
+	if len(e.violations) < 256 {
+		e.violations = append(e.violations, Violation{Kind: kind, Detail: detail})
+	}
+}
+
+// Read implements Executor.
+func (e *Engine) Read(t *Task, addr uint64, words int) {
+	switch e.mem {
+	case MemOff:
+		return
+	case MemInstr:
+		for i := 0; i < words; i++ {
+			e.hist.Touch(addr + uint64(i))
+		}
+	case MemFull:
+		e.curStrand = t.strand
+		for i := 0; i < words; i++ {
+			if racer, raced := e.hist.Read(addr+uint64(i), t.strand, e.prec); raced {
+				e.reportRace(addr+uint64(i), racer.Prev, t.strand, racer.PrevWrite, false)
+			}
+		}
+	}
+}
+
+// Write implements Executor.
+func (e *Engine) Write(t *Task, addr uint64, words int) {
+	switch e.mem {
+	case MemOff:
+		return
+	case MemInstr:
+		for i := 0; i < words; i++ {
+			e.hist.Touch(addr + uint64(i))
+		}
+	case MemFull:
+		e.curStrand = t.strand
+		for i := 0; i < words; i++ {
+			if racer, raced := e.hist.Write(addr+uint64(i), t.strand, e.prec); raced {
+				e.reportRace(addr+uint64(i), racer.Prev, t.strand, racer.PrevWrite, true)
+			}
+		}
+	}
+}
+
+func (e *Engine) reportRace(addr uint64, prev, cur core.StrandID, prevWrite, curWrite bool) {
+	e.raceCount++
+	if _, seen := e.raceSeen[addr]; seen {
+		return
+	}
+	e.raceSeen[addr] = struct{}{}
+	if len(e.races) >= e.maxRaces {
+		return
+	}
+	r := Race{
+		Addr: addr, Prev: prev, Curr: cur,
+		PrevWrite: prevWrite, CurrWrite: curWrite,
+		PrevLabel: e.labels[e.st.FnOf(prev)], CurrLabel: e.labels[e.st.FnOf(cur)],
+	}
+	e.races = append(e.races, r)
+	if e.cfg.OnRace != nil {
+		e.cfg.OnRace(r)
+	}
+}
+
+// verifyReach forwards every event to both the algorithm under test and
+// the dag oracle, compares every Precedes verdict, and records
+// disagreements as violations. The oracle's answer is returned so
+// detection results are ground truth.
+type verifyReach struct {
+	algo   core.Reach
+	oracle *graph.Recorder
+	eng    *Engine
+}
+
+func (v *verifyReach) Name() string { return v.algo.Name() + "+verify" }
+
+func (v *verifyReach) Init(f core.FnID, s core.StrandID) {
+	v.algo.Init(f, s)
+	v.oracle.Init(f, s)
+}
+func (v *verifyReach) Spawn(r core.SpawnRec)      { v.algo.Spawn(r); v.oracle.Spawn(r) }
+func (v *verifyReach) CreateFut(r core.CreateRec) { v.algo.CreateFut(r); v.oracle.CreateFut(r) }
+func (v *verifyReach) Return(r core.ReturnRec)    { v.algo.Return(r); v.oracle.Return(r) }
+func (v *verifyReach) SyncJoin(r core.JoinRec)    { v.algo.SyncJoin(r); v.oracle.SyncJoin(r) }
+func (v *verifyReach) GetFut(r core.GetRec)       { v.algo.GetFut(r); v.oracle.GetFut(r) }
+
+func (v *verifyReach) Precedes(u, w core.StrandID) bool {
+	a := v.algo.Precedes(u, w)
+	b := v.oracle.Precedes(u, w)
+	if a != b {
+		v.eng.violate("reach-mismatch", fmt.Sprintf(
+			"%s says Precedes(%d,%d)=%v, oracle says %v", v.algo.Name(), u, w, a, b))
+	}
+	return b
+}
+
+func (v *verifyReach) Stats() core.ReachStats { return v.algo.Stats() }

@@ -1,0 +1,50 @@
+package progen
+
+import (
+	"testing"
+
+	"futurerd/internal/detect"
+)
+
+// Native fuzz targets: any seed must produce a program on which the
+// algorithms agree with the brute-force oracle on every query and every
+// race. Run continuously with
+//
+//	go test -fuzz FuzzGeneralPrograms ./internal/progen
+//
+// Without -fuzz the seed corpus below runs as regular tests.
+
+func fuzzOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, stmts int) {
+	t.Helper()
+	p := Generate(seed, Options{Dialect: dialect, MaxStmts: stmts})
+	rep := detect.NewEngine(detect.Config{
+		Mode:   mode,
+		Mem:    detect.MemFull,
+		Verify: true,
+	}).Run(p.Run)
+	if rep.Err != nil {
+		t.Fatalf("seed %d: %v\n%s", seed, rep.Err, p)
+	}
+	for _, v := range rep.Violations {
+		t.Fatalf("seed %d: %s: %s\n%s", seed, v.Kind, v.Detail, p)
+	}
+}
+
+func FuzzGeneralPrograms(f *testing.F) {
+	for _, s := range []uint64{0, 1, 7, 42, 1 << 20, 0xdeadbeef} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		fuzzOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
+	})
+}
+
+func FuzzStructuredPrograms(f *testing.F) {
+	for _, s := range []uint64{0, 1, 7, 42, 99999} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		fuzzOne(t, seed, Structured, detect.ModeMultiBags, 60)
+		fuzzOne(t, seed, Structured, detect.ModeMultiBagsPlus, 60)
+	})
+}

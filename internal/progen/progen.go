@@ -1,0 +1,322 @@
+// Package progen generates random task-parallel programs for property
+// testing the race detectors against the brute-force dag oracle.
+//
+// Programs are generated in depth-first eager execution order, which makes
+// two guarantees easy to enforce by construction:
+//
+//   - every get_fut names a future whose create_fut executed earlier
+//     (forward-pointing futures, §2), so the detection engine never
+//     deadlocks;
+//   - in the structured dialect, every future handle is touched at most
+//     once, from a point sequentially after its creation: handles travel
+//     only "down" program order — a frame may get futures it created
+//     itself, futures exported by a future it already got, and futures
+//     exported by children it already synced. This is exactly the paper's
+//     structured discipline (and TestGeneratorStructured verifies it with
+//     the engine's discipline checker).
+//
+// The general dialect lets any frame get any already-created future any
+// number of times, producing multi-touch and escaping handles.
+package progen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"futurerd/internal/detect"
+)
+
+// Dialect selects the future discipline of generated programs.
+type Dialect int
+
+// Dialects.
+const (
+	// PureSP uses only spawn/sync: a series-parallel program.
+	PureSP Dialect = iota
+	// Structured uses single-touch, sequentially ordered futures.
+	Structured
+	// General uses unconstrained (multi-touch, escaping) futures.
+	General
+)
+
+// String returns the dialect name.
+func (d Dialect) String() string {
+	switch d {
+	case PureSP:
+		return "sp"
+	case Structured:
+		return "structured"
+	case General:
+		return "general"
+	default:
+		return "?"
+	}
+}
+
+// Op is a statement kind.
+type Op uint8
+
+// Statement kinds.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpSpawn
+	OpSync
+	OpCreate
+	OpGet
+)
+
+// Stmt is one statement of a generated program.
+type Stmt struct {
+	Op   Op
+	Loc  int    // OpRead/OpWrite: location in [0, NumLocs)
+	Fut  int    // OpCreate/OpGet: future index
+	Body *Block // OpSpawn/OpCreate
+}
+
+// Block is a statement sequence (one function body).
+type Block struct {
+	Stmts []Stmt
+}
+
+// Program is a generated task-parallel program.
+type Program struct {
+	Root    *Block
+	NumLocs int
+	NumFuts int
+	Dialect Dialect
+	Seed    uint64
+}
+
+// Options tunes generation.
+type Options struct {
+	Dialect  Dialect
+	MaxStmts int // overall statement budget (default 40)
+	MaxDepth int // nesting depth (default 5)
+	Locs     int // shared locations (default 8)
+}
+
+func (o *Options) defaults() {
+	if o.MaxStmts == 0 {
+		o.MaxStmts = 40
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 5
+	}
+	if o.Locs == 0 {
+		o.Locs = 8
+	}
+}
+
+type generator struct {
+	rng     *rand.Rand
+	opts    Options
+	budget  int
+	numFuts int
+	exports map[int][]int // future id → futures exported with its value
+	allFuts []int         // every future created so far (general dialect)
+}
+
+// Generate builds a random program from seed.
+func Generate(seed uint64, opts Options) *Program {
+	opts.defaults()
+	g := &generator{
+		rng:     rand.New(rand.NewPCG(seed, 0xfeedface)),
+		opts:    opts,
+		budget:  opts.MaxStmts,
+		exports: make(map[int][]int),
+	}
+	root := g.genBlock(0, true)
+	return &Program{
+		Root:    root,
+		NumLocs: opts.Locs,
+		NumFuts: g.numFuts,
+		Dialect: opts.Dialect,
+		Seed:    seed,
+	}
+}
+
+// frame tracks which futures a block may legally get (structured dialect).
+type frame struct {
+	eligible    []int // gettable now
+	pendingSync []int // gettable after the next sync
+}
+
+// genBlock generates one function body and returns the block plus the
+// futures it exports to its consumer. isRoot suppresses exporting.
+func (g *generator) genBlock(depth int, isRoot bool) *Block {
+	b, _ := g.genBlockExp(depth, isRoot)
+	return b
+}
+
+func (g *generator) genBlockExp(depth int, isRoot bool) (*Block, []int) {
+	b := &Block{}
+	fr := &frame{}
+	// Block length: geometric-ish, bounded by the global budget.
+	maxLen := 3 + g.rng.IntN(8)
+	if isRoot {
+		maxLen = g.budget // the root may use the whole budget
+	}
+	for len(b.Stmts) < maxLen && g.budget > 0 {
+		g.budget--
+		b.Stmts = append(b.Stmts, g.genStmt(depth, fr))
+	}
+	// Exports: futures this block may hand to its consumer.
+	var exports []int
+	if !isRoot {
+		pool := append(append([]int{}, fr.eligible...), fr.pendingSync...)
+		for _, id := range pool {
+			if g.rng.IntN(10) < 7 {
+				exports = append(exports, id)
+			}
+		}
+	}
+	return b, exports
+}
+
+func (g *generator) genStmt(depth int, fr *frame) Stmt {
+	for {
+		switch g.rng.IntN(20) {
+		case 0, 1, 2, 3, 4, 5, 6: // read
+			return Stmt{Op: OpRead, Loc: g.rng.IntN(g.opts.Locs)}
+		case 7, 8, 9, 10, 11: // write
+			return Stmt{Op: OpWrite, Loc: g.rng.IntN(g.opts.Locs)}
+		case 12, 13, 14: // spawn
+			if depth >= g.opts.MaxDepth || g.budget < 2 {
+				continue
+			}
+			body, exp := g.genBlockExp(depth+1, false)
+			fr.pendingSync = append(fr.pendingSync, exp...)
+			return Stmt{Op: OpSpawn, Body: body}
+		case 15, 16: // create_fut
+			if g.opts.Dialect == PureSP || depth >= g.opts.MaxDepth || g.budget < 2 {
+				continue
+			}
+			id := g.numFuts
+			g.numFuts++
+			body, exp := g.genBlockExp(depth+1, false)
+			g.exports[id] = exp
+			g.allFuts = append(g.allFuts, id)
+			fr.eligible = append(fr.eligible, id)
+			return Stmt{Op: OpCreate, Fut: id, Body: body}
+		case 17, 18: // get_fut
+			switch g.opts.Dialect {
+			case PureSP:
+				continue
+			case Structured:
+				if len(fr.eligible) == 0 {
+					continue
+				}
+				i := g.rng.IntN(len(fr.eligible))
+				id := fr.eligible[i]
+				fr.eligible = append(fr.eligible[:i], fr.eligible[i+1:]...)
+				// The consumer inherits the future's exports.
+				fr.eligible = append(fr.eligible, g.exports[id]...)
+				return Stmt{Op: OpGet, Fut: id}
+			case General:
+				if len(g.allFuts) == 0 {
+					continue
+				}
+				return Stmt{Op: OpGet, Fut: g.allFuts[g.rng.IntN(len(g.allFuts))]}
+			}
+		case 19: // sync
+			fr.eligible = append(fr.eligible, fr.pendingSync...)
+			fr.pendingSync = nil
+			return Stmt{Op: OpSync}
+		}
+	}
+}
+
+// Run interprets the program on t. Locations map to virtual addresses
+// 1..NumLocs. Futures resolve through a shared environment, which is safe
+// because the detection engine executes sequentially.
+func (p *Program) Run(t *detect.Task) {
+	env := make([]*detect.Fut, p.NumFuts)
+	runBlock(p.Root, t, env)
+}
+
+func runBlock(b *Block, t *detect.Task, env []*detect.Fut) {
+	for i := range b.Stmts {
+		s := &b.Stmts[i]
+		switch s.Op {
+		case OpRead:
+			t.Read(uint64(s.Loc) + 1)
+		case OpWrite:
+			t.Write(uint64(s.Loc) + 1)
+		case OpSpawn:
+			body := s.Body
+			t.Spawn(func(c *detect.Task) { runBlock(body, c, env) })
+		case OpSync:
+			t.Sync()
+		case OpCreate:
+			body, id := s.Body, s.Fut
+			env[id] = t.CreateFut(func(c *detect.Task) any {
+				runBlock(body, c, env)
+				return id
+			})
+		case OpGet:
+			t.GetFut(env[s.Fut])
+		}
+	}
+}
+
+// Stats summarizes a program's composition.
+func (p *Program) Stats() (accesses, spawns, creates, gets, syncs int) {
+	var walk func(*Block)
+	walk = func(b *Block) {
+		for i := range b.Stmts {
+			switch b.Stmts[i].Op {
+			case OpRead, OpWrite:
+				accesses++
+			case OpSpawn:
+				spawns++
+				walk(b.Stmts[i].Body)
+			case OpCreate:
+				creates++
+				walk(b.Stmts[i].Body)
+			case OpGet:
+				gets++
+			case OpSync:
+				syncs++
+			}
+		}
+	}
+	walk(p.Root)
+	return
+}
+
+// String renders the program as indented pseudocode; printed by failing
+// property tests so the offending program can be turned into a regression
+// test.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// seed=%d dialect=%s locs=%d futs=%d\n",
+		p.Seed, p.Dialect, p.NumLocs, p.NumFuts)
+	var walk func(*Block, string)
+	walk = func(blk *Block, ind string) {
+		for i := range blk.Stmts {
+			s := &blk.Stmts[i]
+			switch s.Op {
+			case OpRead:
+				fmt.Fprintf(&b, "%sread  x%d\n", ind, s.Loc)
+			case OpWrite:
+				fmt.Fprintf(&b, "%swrite x%d\n", ind, s.Loc)
+			case OpSpawn:
+				fmt.Fprintf(&b, "%sspawn {\n", ind)
+				walk(s.Body, ind+"  ")
+				fmt.Fprintf(&b, "%s}\n", ind)
+			case OpSync:
+				fmt.Fprintf(&b, "%ssync\n", ind)
+			case OpCreate:
+				fmt.Fprintf(&b, "%sf%d = create_fut {\n", ind, s.Fut)
+				walk(s.Body, ind+"  ")
+				fmt.Fprintf(&b, "%s}\n", ind)
+			case OpGet:
+				fmt.Fprintf(&b, "%sget_fut f%d\n", ind, s.Fut)
+			}
+		}
+	}
+	walk(p.Root, "")
+	return b.String()
+}

@@ -1,0 +1,228 @@
+package progen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"futurerd/internal/detect"
+)
+
+// TestGeneratorDeterministic: same seed, same program.
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		a := Generate(seed, Options{Dialect: General})
+		b := Generate(seed, Options{Dialect: General})
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: nondeterministic generation", seed)
+		}
+	}
+}
+
+// TestGeneratorStructured: the structured dialect must satisfy the
+// engine's discipline checker — single-touch, creator before getter —
+// for every seed.
+func TestGeneratorStructured(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p := Generate(seed, Options{Dialect: Structured})
+		rep := detect.NewEngine(detect.Config{
+			Mode:            detect.ModeOracle,
+			CheckStructured: true,
+		}).Run(p.Run)
+		if rep.Err != nil {
+			t.Fatalf("seed %d: engine error: %v\n%s", seed, rep.Err, p)
+		}
+		for _, v := range rep.Violations {
+			t.Fatalf("seed %d: structured program violates discipline: %s: %s\n%s",
+				seed, v.Kind, v.Detail, p)
+		}
+	}
+}
+
+// TestGeneratorForwardPointing: general programs must never make the
+// engine deadlock (gets are always of completed futures).
+func TestGeneratorForwardPointing(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p := Generate(seed, Options{Dialect: General})
+		rep := detect.NewEngine(detect.Config{Mode: detect.ModeOracle}).Run(p.Run)
+		if rep.Err != nil {
+			t.Fatalf("seed %d: engine error: %v\n%s", seed, rep.Err, p)
+		}
+	}
+}
+
+// verifySeeds runs seeds programs of the dialect under mode with the
+// oracle cross-check enabled and fails on any reachability mismatch or
+// structural-invariant violation.
+func verifySeeds(t *testing.T, dialect Dialect, mode detect.Mode, seeds uint64) {
+	t.Helper()
+	for seed := uint64(0); seed < seeds; seed++ {
+		p := Generate(seed, Options{Dialect: dialect})
+		rep := detect.NewEngine(detect.Config{
+			Mode:   mode,
+			Mem:    detect.MemFull,
+			Verify: true,
+		}).Run(p.Run)
+		if rep.Err != nil {
+			t.Fatalf("seed %d: engine error: %v\n%s", seed, rep.Err, p)
+		}
+		for _, v := range rep.Violations {
+			t.Fatalf("seed %d [%s/%v]: %s: %s\n%s",
+				seed, dialect, mode, v.Kind, v.Detail, p)
+		}
+	}
+}
+
+// TestMultiBagsMatchesOracleOnStructured is the paper's Theorem 4.2 as a
+// property test: on structured programs, every MultiBags Precedes verdict
+// matches brute-force dag reachability.
+func TestMultiBagsMatchesOracleOnStructured(t *testing.T) {
+	verifySeeds(t, Structured, detect.ModeMultiBags, 400)
+}
+
+// TestMultiBagsPlusMatchesOracleOnStructured: MultiBags+ must also be
+// exact on structured programs (they are a special case of general).
+func TestMultiBagsPlusMatchesOracleOnStructured(t *testing.T) {
+	verifySeeds(t, Structured, detect.ModeMultiBagsPlus, 400)
+}
+
+// TestMultiBagsPlusMatchesOracleOnGeneral is Theorem 5.2 as a property
+// test: on arbitrary future programs, every MultiBags+ verdict matches the
+// oracle, and the attached/unattached structural invariants hold.
+func TestMultiBagsPlusMatchesOracleOnGeneral(t *testing.T) {
+	verifySeeds(t, General, detect.ModeMultiBagsPlus, 400)
+}
+
+// TestMultiBagsPlusMatchesOracleOnPureSP: with k = 0 the program is
+// series-parallel; both algorithms and SP-Bags must agree with the oracle.
+func TestMultiBagsPlusMatchesOracleOnPureSP(t *testing.T) {
+	verifySeeds(t, PureSP, detect.ModeMultiBagsPlus, 200)
+	verifySeeds(t, PureSP, detect.ModeMultiBags, 200)
+	verifySeeds(t, PureSP, detect.ModeSPBags, 200)
+}
+
+// TestRaceReportsMatchOracle runs each algorithm standalone (no oracle
+// steering) and requires the exact same race report as a standalone
+// oracle run: same racy addresses, same counts — Theorems 4.2/5.2 carried
+// through the full access-history pipeline.
+func TestRaceReportsMatchOracle(t *testing.T) {
+	cases := []struct {
+		dialect Dialect
+		mode    detect.Mode
+	}{
+		{Structured, detect.ModeMultiBags},
+		{Structured, detect.ModeMultiBagsPlus},
+		{General, detect.ModeMultiBagsPlus},
+		{PureSP, detect.ModeSPBags},
+		{PureSP, detect.ModeMultiBags},
+	}
+	for _, c := range cases {
+		for seed := uint64(0); seed < 300; seed++ {
+			p := Generate(seed, Options{Dialect: c.dialect})
+			want := detect.NewEngine(detect.Config{
+				Mode: detect.ModeOracle, Mem: detect.MemFull,
+			}).Run(p.Run)
+			got := detect.NewEngine(detect.Config{
+				Mode: c.mode, Mem: detect.MemFull,
+			}).Run(p.Run)
+			if got.Racy() != want.Racy() || got.Stats.RaceCount != want.Stats.RaceCount {
+				t.Fatalf("seed %d [%s/%v]: races %v/%d, oracle %v/%d\n%s",
+					seed, c.dialect, c.mode,
+					got.Racy(), got.Stats.RaceCount,
+					want.Racy(), want.Stats.RaceCount, p)
+			}
+			if len(got.Races) != len(want.Races) {
+				t.Fatalf("seed %d [%s/%v]: %d reported races vs oracle %d\n%s",
+					seed, c.dialect, c.mode, len(got.Races), len(want.Races), p)
+			}
+			for i := range got.Races {
+				if got.Races[i] != want.Races[i] {
+					t.Fatalf("seed %d [%s/%v]: race %d differs: %v vs %v\n%s",
+						seed, c.dialect, c.mode, i, got.Races[i], want.Races[i], p)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickGeneralPrograms drives random seeds through testing/quick.
+func TestQuickGeneralPrograms(t *testing.T) {
+	f := func(seed uint64, big bool) bool {
+		opts := Options{Dialect: General}
+		if big {
+			opts.MaxStmts = 120
+			opts.MaxDepth = 7
+		}
+		p := Generate(seed, opts)
+		rep := detect.NewEngine(detect.Config{
+			Mode:   detect.ModeMultiBagsPlus,
+			Mem:    detect.MemFull,
+			Verify: true,
+		}).Run(p.Run)
+		if rep.Err != nil || len(rep.Violations) > 0 {
+			t.Logf("seed %d violations %v err %v\n%s", seed, rep.Violations, rep.Err, p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStructuredPrograms: same for MultiBags on structured programs.
+func TestQuickStructuredPrograms(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := Generate(seed, Options{Dialect: Structured, MaxStmts: 80})
+		rep := detect.NewEngine(detect.Config{
+			Mode:   detect.ModeMultiBags,
+			Mem:    detect.MemFull,
+			Verify: true,
+		}).Run(p.Run)
+		if rep.Err != nil || len(rep.Violations) > 0 {
+			t.Logf("seed %d violations %v err %v\n%s", seed, rep.Violations, rep.Err, p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllSyncCasesExercised proves the random programs drive MultiBags+
+// through all three sync cases of Figure 4 (lines 29–32, 33–40, 41–46),
+// so the oracle agreement above covers every code path.
+func TestAllSyncCasesExercised(t *testing.T) {
+	var neither, both, mixed uint64
+	for seed := uint64(0); seed < 300; seed++ {
+		p := Generate(seed, Options{Dialect: General})
+		rep := detect.NewEngine(detect.Config{Mode: detect.ModeMultiBagsPlus}).Run(p.Run)
+		neither += rep.Stats.Reach.SyncNeither
+		both += rep.Stats.Reach.SyncBoth
+		mixed += rep.Stats.Reach.SyncMixed
+	}
+	if neither == 0 || both == 0 || mixed == 0 {
+		t.Fatalf("sync cases not all exercised: neither=%d both=%d mixed=%d",
+			neither, both, mixed)
+	}
+}
+
+// TestProgramsExerciseConstructs guards against a degenerate generator:
+// across a seed range, programs must actually contain futures, gets,
+// spawns and syncs.
+func TestProgramsExerciseConstructs(t *testing.T) {
+	var accesses, spawns, creates, gets, syncs int
+	for seed := uint64(0); seed < 100; seed++ {
+		p := Generate(seed, Options{Dialect: General})
+		a, s, c, g, y := p.Stats()
+		accesses += a
+		spawns += s
+		creates += c
+		gets += g
+		syncs += y
+	}
+	if accesses < 1000 || spawns < 50 || creates < 50 || gets < 50 || syncs < 30 {
+		t.Fatalf("generator degenerate: accesses=%d spawns=%d creates=%d gets=%d syncs=%d",
+			accesses, spawns, creates, gets, syncs)
+	}
+}

@@ -1,0 +1,73 @@
+package progen
+
+import (
+	"testing"
+
+	"futurerd/internal/detect"
+)
+
+// TestLargeProgramsMatchOracle widens the property sweep to programs an
+// order of magnitude bigger than the default generator output (hundreds
+// of constructs, deep nesting), so rarely-hit interactions — long union
+// chains, attached sets absorbing many unattached ones, R arcs between
+// old nodes — are exercised under oracle verification too.
+func TestLargeProgramsMatchOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large sweep skipped in -short mode")
+	}
+	opts := Options{MaxStmts: 400, MaxDepth: 9, Locs: 16}
+	for seed := uint64(0); seed < 40; seed++ {
+		for _, c := range []struct {
+			dialect Dialect
+			mode    detect.Mode
+		}{
+			{Structured, detect.ModeMultiBags},
+			{Structured, detect.ModeMultiBagsPlus},
+			{General, detect.ModeMultiBagsPlus},
+		} {
+			o := opts
+			o.Dialect = c.dialect
+			p := Generate(seed, o)
+			rep := detect.NewEngine(detect.Config{
+				Mode:   c.mode,
+				Mem:    detect.MemFull,
+				Verify: true,
+			}).Run(p.Run)
+			if rep.Err != nil {
+				t.Fatalf("seed %d [%s/%v]: %v\n%s", seed, c.dialect, c.mode, rep.Err, p)
+			}
+			for _, v := range rep.Violations {
+				t.Fatalf("seed %d [%s/%v]: %s: %s\n%s",
+					seed, c.dialect, c.mode, v.Kind, v.Detail, p)
+			}
+		}
+	}
+}
+
+// TestRegressionCorpus pins seeds that exercise specific algorithm
+// corners, identified by inspecting sync-case and attachment statistics:
+// they must keep matching the oracle forever.
+func TestRegressionCorpus(t *testing.T) {
+	type entry struct {
+		seed    uint64
+		dialect Dialect
+		stmts   int
+	}
+	corpus := []entry{
+		{0, General, 40}, {7, General, 40}, {13, General, 120},
+		{42, General, 200}, {99, Structured, 120}, {123, Structured, 200},
+		{2024, General, 300}, {31337, Structured, 300},
+	}
+	for _, e := range corpus {
+		p := Generate(e.seed, Options{Dialect: e.dialect, MaxStmts: e.stmts})
+		for _, mode := range []detect.Mode{detect.ModeMultiBagsPlus} {
+			rep := detect.NewEngine(detect.Config{
+				Mode: mode, Mem: detect.MemFull, Verify: true,
+			}).Run(p.Run)
+			if rep.Err != nil || len(rep.Violations) > 0 {
+				t.Fatalf("corpus seed %d [%s]: err=%v violations=%v\n%s",
+					e.seed, e.dialect, rep.Err, rep.Violations, p)
+			}
+		}
+	}
+}

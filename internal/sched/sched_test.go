@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"futurerd/internal/detect"
+)
+
+// fib computes Fibonacci with spawn/sync, the canonical fork-join kernel.
+func fib(t *detect.Task, n int, out *atomic.Int64) {
+	if n < 2 {
+		out.Add(int64(n))
+		return
+	}
+	t.Spawn(func(c *detect.Task) { fib(c, n-1, out) })
+	fib(t, n-2, out)
+	t.Sync()
+}
+
+func TestFibSpawnSync(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		var got atomic.Int64
+		Run(workers, func(rt *detect.Task) { fib(rt, 18, &got) })
+		if got.Load() != 2584 {
+			t.Fatalf("workers=%d: fib(18) accumulated %d, want 2584", workers, got.Load())
+		}
+	}
+}
+
+func fibFut(t *detect.Task, n int) int {
+	if n < 2 {
+		return n
+	}
+	h := t.CreateFut(func(c *detect.Task) any { return fibFut(c, n-1) })
+	b := fibFut(t, n-2)
+	return t.GetFut(h).(int) + b
+}
+
+func TestFibFutures(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var got int
+		Run(workers, func(rt *detect.Task) { got = fibFut(rt, 18) })
+		if got != 2584 {
+			t.Fatalf("workers=%d: fibFut(18) = %d, want 2584", workers, got)
+		}
+	}
+}
+
+func TestFutureEscapesSync(t *testing.T) {
+	// A future created before a sync must not be joined by the sync.
+	var order []string
+	var mu atomic.Int32
+	Run(2, func(rt *detect.Task) {
+		h := rt.CreateFut(func(c *detect.Task) any {
+			mu.Add(1)
+			return "future"
+		})
+		rt.Spawn(func(c *detect.Task) { mu.Add(1) })
+		rt.Sync()
+		order = append(order, rt.GetFut(h).(string))
+	})
+	if len(order) != 1 || order[0] != "future" {
+		t.Fatalf("future value lost: %v", order)
+	}
+}
+
+func TestMultiTouchGet(t *testing.T) {
+	Run(4, func(rt *detect.Task) {
+		h := rt.CreateFut(func(c *detect.Task) any { return 7 })
+		a := rt.GetFut(h).(int)
+		b := rt.GetFut(h).(int)
+		if a != 7 || b != 7 {
+			t.Errorf("multi-touch get: %d, %d", a, b)
+		}
+	})
+}
+
+// TestPipelineChain builds a 1000-deep chain of futures, each getting its
+// predecessor — the pipeline pattern of the paper's benchmarks.
+func TestPipelineChain(t *testing.T) {
+	var last int
+	Run(4, func(rt *detect.Task) {
+		prev := rt.CreateFut(func(*detect.Task) any { return 0 })
+		for i := 1; i <= 1000; i++ {
+			p := prev
+			prev = rt.CreateFut(func(c *detect.Task) any {
+				return c.GetFut(p).(int) + 1
+			})
+		}
+		last = rt.GetFut(prev).(int)
+	})
+	if last != 1000 {
+		t.Fatalf("pipeline result %d, want 1000", last)
+	}
+}
+
+// TestWorkDistributes checks that with plenty of parallel slack, stealing
+// actually happens (the pool is not secretly serial).
+func TestWorkDistributes(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	p.RunRoot(func(rt *detect.Task) {
+		for i := 0; i < 256; i++ {
+			rt.Spawn(func(c *detect.Task) {
+				// Enough work per task to let thieves wake up.
+				s := 0
+				for j := 0; j < 20000; j++ {
+					s += j
+				}
+				n.Add(int64(s % 2))
+			})
+		}
+		rt.Sync()
+	})
+	if p.Steals() == 0 {
+		t.Log("no steals observed (machine may have a single core); not failing")
+	}
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+}
+
+// TestDeepNesting exercises helping at sync under deep recursion.
+func TestDeepNesting(t *testing.T) {
+	var leaves atomic.Int64
+	var rec func(t *detect.Task, d int)
+	rec = func(t *detect.Task, d int) {
+		if d == 0 {
+			leaves.Add(1)
+			return
+		}
+		t.Spawn(func(c *detect.Task) { rec(c, d-1) })
+		t.Spawn(func(c *detect.Task) { rec(c, d-1) })
+		t.Sync()
+	}
+	Run(8, func(rt *detect.Task) { rec(rt, 10) })
+	if leaves.Load() != 1024 {
+		t.Fatalf("leaves = %d, want 1024", leaves.Load())
+	}
+}
+
+// TestImplicitSyncAtTaskEnd: children spawned and never synced must still
+// complete before the parent is considered done.
+func TestImplicitSyncAtTaskEnd(t *testing.T) {
+	var done atomic.Bool
+	Run(4, func(rt *detect.Task) {
+		rt.Spawn(func(c *detect.Task) {
+			c.Spawn(func(gc *detect.Task) {
+				for i := 0; i < 10000; i++ {
+					_ = i
+				}
+				done.Store(true)
+			})
+			// no explicit sync
+		})
+		// no explicit sync
+	})
+	if !done.Load() {
+		t.Fatal("grandchild did not finish before Run returned")
+	}
+}
+
+func TestMemoryHooksAreNoOps(t *testing.T) {
+	Run(2, func(rt *detect.Task) {
+		rt.Read(1)
+		rt.Write(2)
+		rt.ReadRange(3, 10)
+		rt.WriteRange(4, 10)
+	})
+}
+
+func BenchmarkSchedFib(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out atomic.Int64
+		Run(0, func(rt *detect.Task) { fib(rt, 16, &out) })
+	}
+}

@@ -1,0 +1,148 @@
+// Package shadow implements the detector's access history (§3): for every
+// shadow word it stores the most recent writer strand plus a reader list
+// that is flushed on each race-free write, keeping the total number of
+// reachability queries bounded by O(number of memory accesses).
+//
+// The table is organised like FutureRD's: a two-level structure where the
+// high bits of the address select a page and the low bits a slot inside a
+// densely allocated page. Addresses come from the library's virtual
+// address allocator; one shadow word covers one element, the analogue of
+// FutureRD's 4-byte granularity (all the paper's benchmarks make accesses
+// of at least 4 bytes).
+package shadow
+
+import "futurerd/internal/core"
+
+// PageBits sets the page size: 2^PageBits words per page.
+const PageBits = 12
+
+const pageSize = 1 << PageBits
+const pageMask = pageSize - 1
+
+// word is the shadow state of one address. The first reader is kept
+// inline so the common one-reader-between-writes case allocates nothing.
+type word struct {
+	lastWriter  core.StrandID
+	reader0     core.StrandID
+	moreReaders []core.StrandID
+}
+
+type page [pageSize]word
+
+// History is the access history for one detection run.
+type History struct {
+	pages map[uint64]*page
+
+	// Counters for the benchmark harness.
+	reads, writes uint64
+	readerAppends uint64
+	readerFlushes uint64
+	touchedPages  uint64
+	touched       uint64 // Touch checksum; keeps the instr config honest
+}
+
+// NewHistory returns an empty access history.
+func NewHistory() *History {
+	return &History{pages: make(map[uint64]*page)}
+}
+
+func (h *History) wordFor(addr uint64) *word {
+	pn := addr >> PageBits
+	p := h.pages[pn]
+	if p == nil {
+		p = new(page)
+		h.pages[pn] = p
+		h.touchedPages++
+	}
+	return &p[addr&pageMask]
+}
+
+// Touch decodes addr into its page and slot indices without maintaining
+// or querying the access history — the "instrumentation" configuration of
+// the paper's evaluation: the memory hook fires and pays the dispatch and
+// address-decoding cost, nothing more. The decoded indices are folded
+// into a checksum so the compiler cannot elide the work.
+func (h *History) Touch(addr uint64) {
+	h.touched += (addr >> PageBits) ^ (addr & pageMask)
+}
+
+// Racer is the pair of conflicting strands found by Read or Write.
+type Racer struct {
+	Prev      core.StrandID
+	PrevWrite bool
+}
+
+// Read processes a read of addr by strand s. It returns the racing
+// previous access (a write) and true if the read races, after which the
+// caller reports and detection continues. reach answers "u precedes the
+// current strand".
+//
+// Protocol (§3): a read races iff it is logically parallel with the last
+// writer; otherwise the reader is appended to the reader list.
+func (h *History) Read(addr uint64, s core.StrandID, precedes func(u core.StrandID) bool) (Racer, bool) {
+	h.reads++
+	w := h.wordFor(addr)
+	if w.lastWriter != core.NoStrand && w.lastWriter != s && !precedes(w.lastWriter) {
+		return Racer{Prev: w.lastWriter, PrevWrite: true}, true
+	}
+	// Append s to the reader list, deduplicating the common case of the
+	// same strand re-reading the location between writes.
+	switch {
+	case w.reader0 == core.NoStrand:
+		w.reader0 = s
+		h.readerAppends++
+	case w.reader0 == s:
+	case len(w.moreReaders) > 0 && w.moreReaders[len(w.moreReaders)-1] == s:
+	default:
+		w.moreReaders = append(w.moreReaders, s)
+		h.readerAppends++
+	}
+	return Racer{}, false
+}
+
+// Write processes a write of addr by strand s. It returns the first racing
+// previous access found (a reader or the last writer) and true if the
+// write races. On a race-free write the reader list is emptied and s
+// becomes the last writer; the paper shows this loses no races because
+// anything parallel with a flushed reader that runs later is also parallel
+// with s.
+func (h *History) Write(addr uint64, s core.StrandID, precedes func(u core.StrandID) bool) (Racer, bool) {
+	h.writes++
+	w := h.wordFor(addr)
+	if w.lastWriter != core.NoStrand && w.lastWriter != s && !precedes(w.lastWriter) {
+		return Racer{Prev: w.lastWriter, PrevWrite: true}, true
+	}
+	if w.reader0 != core.NoStrand && w.reader0 != s && !precedes(w.reader0) {
+		return Racer{Prev: w.reader0, PrevWrite: false}, true
+	}
+	for _, r := range w.moreReaders {
+		if r != s && !precedes(r) {
+			return Racer{Prev: r, PrevWrite: false}, true
+		}
+	}
+	if w.reader0 != core.NoStrand {
+		h.readerFlushes++
+	}
+	w.reader0 = core.NoStrand
+	w.moreReaders = w.moreReaders[:0]
+	w.lastWriter = s
+	return Racer{}, false
+}
+
+// Stats describes access-history traffic.
+type Stats struct {
+	Reads, Writes uint64
+	ReaderAppends uint64
+	ReaderFlushes uint64
+	TouchedPages  uint64
+}
+
+// Stats returns the history's counters.
+func (h *History) Stats() Stats {
+	return Stats{
+		Reads: h.reads, Writes: h.writes,
+		ReaderAppends: h.readerAppends,
+		ReaderFlushes: h.readerFlushes,
+		TouchedPages:  h.touchedPages,
+	}
+}

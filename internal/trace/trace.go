@@ -1,0 +1,234 @@
+// Package trace records a task-parallel program's execution — its
+// parallel constructs and instrumented memory accesses — as a compact
+// binary event stream, and replays such streams through the detection
+// engine. Recording runs the real program once (sequentially, eagerly,
+// with near-zero overhead); a replay re-detects races under any
+// algorithm without re-running user code. This mirrors how FutureRD is
+// an instrumentation stream consumer (§6 "Implementation"), and gives
+// the library offline analysis and shareable regression corpora.
+//
+// Format: a magic header, then one event per construct or access:
+//
+//	[1-byte opcode][uvarint operands...]
+//
+// Because both the recorder and the detection engine execute in
+// depth-first eager order, task nesting is implicit in event order:
+// a spawn/create opcode is followed by the child's complete event
+// subsequence and a task-end opcode, so replay is a recursive descent.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"futurerd/internal/detect"
+)
+
+// Opcodes.
+const (
+	opSpawn   byte = 1 // followed by the child's events, then opTaskEnd
+	opCreate  byte = 2 // uvarint future id; then child's events, opTaskEnd
+	opTaskEnd byte = 3
+	opSync    byte = 4
+	opGet     byte = 5 // uvarint future id
+	opRead    byte = 6 // uvarint addr, uvarint word count
+	opWrite   byte = 7 // uvarint addr, uvarint word count
+	opEOF     byte = 8
+)
+
+// magic identifies trace streams and their version.
+var magic = []byte("FUTRD1\n")
+
+// ErrBadTrace reports a malformed or truncated stream.
+var ErrBadTrace = errors.New("trace: malformed event stream")
+
+// recorder implements detect.Executor: it executes the program eagerly on
+// the calling goroutine (like the detection engine, minus detection) and
+// logs every event.
+type recorder struct {
+	w      *bufio.Writer
+	futIDs map[*detect.Fut]uint64
+	nextID uint64
+	err    error
+}
+
+func (r *recorder) emit(op byte, args ...uint64) {
+	if r.err != nil {
+		return
+	}
+	if err := r.w.WriteByte(op); err != nil {
+		r.err = err
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, a := range args {
+		n := binary.PutUvarint(buf[:], a)
+		if _, err := r.w.Write(buf[:n]); err != nil {
+			r.err = err
+			return
+		}
+	}
+}
+
+// Spawn implements detect.Executor.
+func (r *recorder) Spawn(t *detect.Task, f func(*detect.Task)) {
+	r.emit(opSpawn)
+	f(detect.NewTask(r))
+	r.emit(opTaskEnd)
+}
+
+// Sync implements detect.Executor.
+func (r *recorder) Sync(*detect.Task) { r.emit(opSync) }
+
+// CreateFut implements detect.Executor.
+func (r *recorder) CreateFut(t *detect.Task, body func(*detect.Task) any) *detect.Fut {
+	id := r.nextID
+	r.nextID++
+	r.emit(opCreate, id)
+	h := &detect.Fut{}
+	h.Complete(body(detect.NewTask(r)))
+	r.emit(opTaskEnd)
+	r.futIDs[h] = id
+	return h
+}
+
+// GetFut implements detect.Executor.
+func (r *recorder) GetFut(t *detect.Task, h *detect.Fut) any {
+	id, ok := r.futIDs[h]
+	if !ok {
+		// A handle the recorder never created (zero Fut): record an
+		// impossible id so replay fails the same way detection would.
+		id = ^uint64(0)
+	}
+	r.emit(opGet, id)
+	v, _ := h.Value()
+	return v
+}
+
+// Read implements detect.Executor.
+func (r *recorder) Read(t *detect.Task, addr uint64, words int) {
+	r.emit(opRead, addr, uint64(words))
+}
+
+// Write implements detect.Executor.
+func (r *recorder) Write(t *detect.Task, addr uint64, words int) {
+	r.emit(opWrite, addr, uint64(words))
+}
+
+// Record executes root sequentially (eager futures, no detection) and
+// writes its event stream to w.
+func Record(w io.Writer, root func(*detect.Task)) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	rec := &recorder{w: bw, futIDs: make(map[*detect.Fut]uint64)}
+	root(detect.NewTask(rec))
+	rec.emit(opEOF)
+	if rec.err != nil {
+		return rec.err
+	}
+	return bw.Flush()
+}
+
+// RecordBytes is Record into a fresh buffer.
+func RecordBytes(root func(*detect.Task)) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Record(&buf, root); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// parser reads events.
+type parser struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (p *parser) op() byte {
+	if p.err != nil {
+		return opEOF
+	}
+	b, err := p.r.ReadByte()
+	if err != nil {
+		p.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+		return opEOF
+	}
+	return b
+}
+
+func (p *parser) arg() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(p.r)
+	if err != nil {
+		p.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return v
+}
+
+// Replay runs the event stream through a detection engine configured by
+// cfg and returns its report.
+func Replay(r io.Reader, cfg detect.Config) (*detect.Report, error) {
+	p := &parser{r: bufio.NewReader(r)}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(p.r, head); err != nil || !bytes.Equal(head, magic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	futs := make(map[uint64]*detect.Fut)
+	var replayTask func(t *detect.Task) bool // false on malformed stream
+	replayTask = func(t *detect.Task) bool {
+		for {
+			switch op := p.op(); op {
+			case opSpawn:
+				ok := true
+				t.Spawn(func(c *detect.Task) { ok = replayTask(c) })
+				if !ok {
+					return false
+				}
+			case opCreate:
+				id := p.arg()
+				ok := true
+				futs[id] = t.CreateFut(func(c *detect.Task) any {
+					ok = replayTask(c)
+					return nil
+				})
+				if !ok {
+					return false
+				}
+			case opSync:
+				t.Sync()
+			case opGet:
+				t.GetFut(futs[p.arg()])
+			case opRead:
+				addr := p.arg()
+				t.ReadRange(addr, int(p.arg()))
+			case opWrite:
+				addr := p.arg()
+				t.WriteRange(addr, int(p.arg()))
+			case opTaskEnd, opEOF:
+				return p.err == nil
+			default:
+				p.err = fmt.Errorf("%w: unknown opcode %d", ErrBadTrace, op)
+				return false
+			}
+		}
+	}
+	var ok bool
+	rep := detect.NewEngine(cfg).Run(func(t *detect.Task) { ok = replayTask(t) })
+	if !ok && rep.Err == nil {
+		return nil, p.err
+	}
+	return rep, nil
+}
+
+// ReplayBytes is Replay over an in-memory stream.
+func ReplayBytes(b []byte, cfg detect.Config) (*detect.Report, error) {
+	return Replay(bytes.NewReader(b), cfg)
+}

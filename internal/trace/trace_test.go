@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"futurerd/internal/detect"
+	"futurerd/internal/progen"
+)
+
+// prog is a small future program with one race (addr 5) and one ordered
+// pair (addr 6).
+func prog(t *detect.Task) {
+	h := t.CreateFut(func(ft *detect.Task) any {
+		ft.Write(5)
+		ft.Write(6)
+		return 7
+	})
+	t.Write(5) // races with the future
+	t.GetFut(h)
+	t.Read(6) // ordered via the get
+	t.Spawn(func(c *detect.Task) { c.Read(6) })
+	t.Sync()
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	raw, err := RecordBytes(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || !bytes.HasPrefix(raw, magic) {
+		t.Fatal("bad stream framing")
+	}
+	rep, err := ReplayBytes(raw, detect.Config{
+		Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) != 1 || rep.Races[0].Addr != 5 {
+		t.Fatalf("replay races = %v, want one race on addr 5", rep.Races)
+	}
+}
+
+// TestReplayMatchesDirectDetection is the package's core guarantee: for
+// random programs, detecting a replayed trace gives exactly the same
+// report as detecting the original program.
+func TestReplayMatchesDirectDetection(t *testing.T) {
+	for _, dialect := range []progen.Dialect{progen.Structured, progen.General} {
+		for seed := uint64(0); seed < 150; seed++ {
+			p := progen.Generate(seed, progen.Options{Dialect: dialect})
+			raw, err := RecordBytes(p.Run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := detect.Config{Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull}
+			direct := detect.NewEngine(cfg).Run(p.Run)
+			replayed, err := ReplayBytes(raw, cfg)
+			if err != nil {
+				t.Fatalf("seed %d [%s]: %v", seed, dialect, err)
+			}
+			if direct.Stats.RaceCount != replayed.Stats.RaceCount ||
+				len(direct.Races) != len(replayed.Races) {
+				t.Fatalf("seed %d [%s]: direct %d/%d vs replay %d/%d races\n%s",
+					seed, dialect,
+					len(direct.Races), direct.Stats.RaceCount,
+					len(replayed.Races), replayed.Stats.RaceCount, p)
+			}
+			for i := range direct.Races {
+				if direct.Races[i] != replayed.Races[i] {
+					t.Fatalf("seed %d [%s]: race %d differs: %v vs %v",
+						seed, dialect, i, direct.Races[i], replayed.Races[i])
+				}
+			}
+			// Structural statistics must match too: the replay rebuilds
+			// the identical dag.
+			if direct.Stats.Strands != replayed.Stats.Strands ||
+				direct.Stats.Creates != replayed.Stats.Creates ||
+				direct.Stats.Gets != replayed.Stats.Gets {
+				t.Fatalf("seed %d [%s]: structure differs: %+v vs %+v",
+					seed, dialect, direct.Stats, replayed.Stats)
+			}
+		}
+	}
+}
+
+// TestReplayUnderDifferentAlgorithms: one recording, many detectors —
+// the point of offline traces.
+func TestReplayUnderDifferentAlgorithms(t *testing.T) {
+	p := progen.Generate(42, progen.Options{Dialect: progen.Structured})
+	raw, err := RecordBytes(p.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -1
+	for _, mode := range []detect.Mode{
+		detect.ModeMultiBags, detect.ModeMultiBagsPlus, detect.ModeOracle,
+	} {
+		rep, err := ReplayBytes(raw, detect.Config{Mode: mode, Mem: detect.MemFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == -1 {
+			want = len(rep.Races)
+		} else if len(rep.Races) != want {
+			t.Fatalf("%v found %d races, others found %d", mode, len(rep.Races), want)
+		}
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	a, err := RecordBytes(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RecordBytes(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("recording is not deterministic")
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	if _, err := ReplayBytes([]byte("not a trace"), detect.Config{Mode: detect.ModeOracle}); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	// Valid magic, truncated body.
+	raw, _ := RecordBytes(prog)
+	if _, err := ReplayBytes(raw[:len(raw)-3], detect.Config{Mode: detect.ModeOracle}); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Unknown opcode.
+	bad := append(append([]byte{}, magic...), 0xEE)
+	if _, err := ReplayBytes(bad, detect.Config{Mode: detect.ModeOracle}); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("unknown opcode: err = %v", err)
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// A loop of n accesses must stay O(n) bytes with small constants
+	// (one opcode + short varints per access).
+	raw, err := RecordBytes(func(t *detect.Task) {
+		for i := 0; i < 1000; i++ {
+			t.Write(uint64(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) > 1000*4+len(magic)+2 {
+		t.Fatalf("trace too fat: %d bytes for 1000 events", len(raw))
+	}
+}

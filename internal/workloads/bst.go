@@ -1,0 +1,239 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"futurerd"
+)
+
+// BST is the binary-tree-merge benchmark of Blelloch & Reid-Miller
+// ("Pipelining with futures", SPAA'97), the workload the paper uses to
+// stress reachability maintenance (little work per parallel construct).
+//
+// Two binary search trees are merged persistently: the result node for
+// key k carries *futures* of its merged subtrees, so a consumer can start
+// traversing the root before the subtrees exist — the pipelining that
+// futures enable and fork-join cannot express. Below futDepth the merge
+// runs sequentially: like the paper's benchmarks, future granularity is
+// coarsened so the k² term of MultiBags+ stays in its intended regime.
+//
+// Structured variant: the consumer performs one in-order traversal,
+// touching every subtree future exactly once; every future it touches was
+// created by the producer node it has already joined.
+//
+// General variant: two traversals run as parallel siblings, so every
+// subtree future is touched twice (multi-touch ⇒ MultiBags+).
+type BST struct {
+	n1, n2  int
+	variant Variant
+
+	// FutDepth bounds the pipeline depth: merges deeper than this run
+	// sequentially. It controls the future count k (≤ 2^(FutDepth+1)),
+	// i.e. how construct-dense the benchmark is.
+	FutDepth int
+
+	keys  *futurerd.Array[int64] // instrumented key storage, both trees
+	out   *futurerd.Array[int32] // rank-indexed output slots
+	t1    *bstNode
+	t2    *bstNode
+	ranks map[int64]int
+
+	InjectRace bool
+}
+
+// bstNode is an input-tree node; its key lives in the instrumented key
+// array at keyIdx. Structure pointers are plain Go data: navigation is not
+// what races in this benchmark — key reads and output writes are.
+type bstNode struct {
+	keyIdx      int
+	left, right *bstNode
+}
+
+// MergedNode is a result node. Above the future cutoff the subtrees are
+// futures (Left/Right); below it they are direct pointers (LeftN/RightN).
+type MergedNode struct {
+	KeyIdx        int
+	Left, Right   futurerd.Future[*MergedNode]
+	LeftN, RightN *MergedNode
+}
+
+// NewBST builds two trees with n1 and n2 distinct keys.
+func NewBST(n1, n2 int, variant Variant, seed uint64) *BST {
+	b := &BST{
+		n1: n1, n2: n2, variant: variant,
+		FutDepth: 8,
+		keys:     futurerd.NewArray[int64](n1 + n2),
+		out:      futurerd.NewArray[int32](n1 + n2),
+		ranks:    make(map[int64]int, n1+n2),
+	}
+	// Distinct keys: evens in tree 1, odds in tree 2.
+	raw := b.keys.Raw()
+	for i := 0; i < n1; i++ {
+		raw[i] = int64(2 * (splitmix64(seed*0x70007+uint64(i)) % (8 * uint64(n1+n2))))
+	}
+	for i := 0; i < n2; i++ {
+		raw[n1+i] = int64(2*(splitmix64(seed*0x80008+uint64(i))%(8*uint64(n1+n2)))) + 1
+	}
+	dedupKeys(raw[:n1], 2)
+	dedupKeys(raw[n1:], 2)
+	b.t1 = buildBalanced(raw, 0, n1)
+	b.t2 = buildBalanced(raw, n1, n1+n2)
+	all := append([]int64{}, raw...)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for r, k := range all {
+		b.ranks[k] = r
+	}
+	return b
+}
+
+// dedupKeys nudges duplicates upward in steps of stride, preserving parity.
+func dedupKeys(keys []int64, stride int64) {
+	seen := make(map[int64]bool, len(keys))
+	for i, k := range keys {
+		for seen[k] {
+			k += stride
+		}
+		seen[k] = true
+		keys[i] = k
+	}
+}
+
+// buildBalanced builds a balanced BST over the keys at array indices
+// [lo, hi).
+func buildBalanced(raw []int64, lo, hi int) *bstNode {
+	idx := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return raw[idx[a]] < raw[idx[b]] })
+	var build func(a, b int) *bstNode
+	build = func(a, b int) *bstNode {
+		if a >= b {
+			return nil
+		}
+		mid := (a + b) / 2
+		return &bstNode{keyIdx: idx[mid], left: build(a, mid), right: build(mid+1, b)}
+	}
+	return build(0, len(idx))
+}
+
+// Name implements Instance.
+func (b *BST) Name() string { return fmt.Sprintf("bst(%d+%d,%s)", b.n1, b.n2, b.variant) }
+
+// key reads a node's key through the instrumented array.
+func (b *BST) key(t *futurerd.Task, n *bstNode) int64 { return b.keys.Get(t, n.keyIdx) }
+
+// split persistently splits tree n by key: everything < key goes left,
+// everything > key goes right (keys are distinct across trees). Fresh
+// nodes are allocated along the boundary path only.
+func (b *BST) split(t *futurerd.Task, n *bstNode, key int64) (lo, hi *bstNode) {
+	if n == nil {
+		return nil, nil
+	}
+	if b.key(t, n) < key {
+		l, h := b.split(t, n.right, key)
+		return &bstNode{keyIdx: n.keyIdx, left: n.left, right: l}, h
+	}
+	l, h := b.split(t, n.left, key)
+	return l, &bstNode{keyIdx: n.keyIdx, left: h, right: n.right}
+}
+
+// emit records a merged key in its unique output slot.
+func (b *BST) emit(t *futurerd.Task, keyIdx int) {
+	b.out.Set(t, b.ranks[b.keys.Raw()[keyIdx]], 1)
+}
+
+// mergeSeq merges without futures, used below the granularity cutoff.
+func (b *BST) mergeSeq(t *futurerd.Task, x, y *bstNode) *MergedNode {
+	if x == nil && y == nil {
+		return nil
+	}
+	if x == nil {
+		x, y = y, nil
+	}
+	k := b.key(t, x)
+	lo, hi := b.split(t, y, k)
+	node := &MergedNode{KeyIdx: x.keyIdx}
+	b.emit(t, x.keyIdx)
+	node.LeftN = b.mergeSeq(t, x.left, lo)
+	node.RightN = b.mergeSeq(t, x.right, hi)
+	return node
+}
+
+// mergeBody returns the future body merging subtrees x and y at the given
+// pipeline depth.
+func (b *BST) mergeBody(x, y *bstNode, depth int) func(*futurerd.Task) *MergedNode {
+	return func(ft *futurerd.Task) *MergedNode {
+		if x == nil && y == nil {
+			return nil
+		}
+		if x == nil {
+			x, y = y, nil
+		}
+		k := b.key(ft, x)
+		lo, hi := b.split(ft, y, k)
+		node := &MergedNode{KeyIdx: x.keyIdx}
+		b.emit(ft, x.keyIdx)
+		if depth+1 < b.FutDepth {
+			node.Left = futurerd.Async(ft, b.mergeBody(x.left, lo, depth+1))
+			node.Right = futurerd.Async(ft, b.mergeBody(x.right, hi, depth+1))
+		} else {
+			node.LeftN = b.mergeSeq(ft, x.left, lo)
+			node.RightN = b.mergeSeq(ft, x.right, hi)
+		}
+		return node
+	}
+}
+
+// walk consumes a merged subtree, touching every future once and reading
+// every key through the instrumented array.
+func (b *BST) walk(t *futurerd.Task, n *MergedNode) {
+	if n == nil {
+		return
+	}
+	if n.Left.Valid() {
+		b.walk(t, n.Left.Get(t))
+	} else {
+		b.walk(t, n.LeftN)
+	}
+	b.keys.Get(t, n.KeyIdx)
+	if n.Right.Valid() {
+		b.walk(t, n.Right.Get(t))
+	} else {
+		b.walk(t, n.RightN)
+	}
+}
+
+// Run implements Instance.
+func (b *BST) Run(t *futurerd.Task) {
+	clear(b.out.Raw())
+	root := futurerd.Async(t, b.mergeBody(b.t1, b.t2, 0))
+	if b.InjectRace {
+		// Write an output slot that the merge also writes, without
+		// joining the merge first: a write-write determinacy race.
+		b.out.Set(t, b.ranks[b.keys.Raw()[b.t1.keyIdx]], 2)
+	}
+	if b.variant == StructuredFutures {
+		b.walk(t, root.Get(t))
+		return
+	}
+	// General: two sibling traversals touch every future twice.
+	t.Spawn(func(c *futurerd.Task) { b.walk(c, root.Get(c)) })
+	t.Spawn(func(c *futurerd.Task) { b.walk(c, root.Get(c)) })
+	t.Sync()
+}
+
+// Validate implements Instance: the merge must have emitted every key
+// exactly once.
+func (b *BST) Validate() error {
+	if b.InjectRace {
+		return nil // output is intentionally corrupted
+	}
+	for i, v := range b.out.Raw() {
+		if v != 1 {
+			return fmt.Errorf("bst: output slot %d = %d, want 1", i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package workloads
+
+import (
+	"fmt"
+
+	"futurerd"
+)
+
+// Dedup is a stand-in for PARSEC dedup: a compression pipeline with
+// content deduplication and genuine pipeline parallelism — the paper's
+// second example of a pattern fork-join cannot express. Stages:
+//
+//	fingerprint — one future per chunk hashes its bytes (parallel);
+//	dedup       — a chain of single-touch futures walks chunks in order,
+//	              probing/inserting an instrumented open-addressing hash
+//	              table (serial stage, like PARSEC's);
+//	compress    — the dedup step launches one future per *unique* chunk;
+//	              the kernel (RLE) deliberately bypasses instrumentation,
+//	              mirroring the paper's uninstrumentable libz calls;
+//	output      — the root drains the dedup chain in order and records
+//	              compressed sizes / duplicate references.
+//
+// All handles are single-touch with creators sequentially before getters,
+// so dedup is a structured-futures program; like the paper, it has no
+// separate general variant.
+type Dedup struct {
+	numChunks int
+	chunkLen  int
+	seed      uint64
+
+	input *futurerd.Array[byte]   // instrumented input stream
+	table *futurerd.Array[uint64] // open-addressing fingerprint table
+	slot  *futurerd.Array[int32]  // table slot → first chunk with that print
+	outSz *futurerd.Array[int32]  // per chunk: compressed size, or 0 if dup
+	ref   *futurerd.Array[int32]  // per chunk: duplicate-of chunk index, or -1
+
+	compressed [][]byte // per unique chunk, the RLE bytes (uninstrumented)
+
+	InjectRace bool
+}
+
+// NewDedup builds a synthetic stream of numChunks chunks, roughly half of
+// which are duplicates drawn from a small working set.
+func NewDedup(numChunks int, seed uint64) *Dedup {
+	d := &Dedup{
+		numChunks: numChunks,
+		chunkLen:  128,
+		seed:      seed,
+	}
+	d.input = futurerd.NewArray[byte](numChunks * d.chunkLen)
+	d.table = futurerd.NewArray[uint64](4 * numChunks)
+	d.slot = futurerd.NewArray[int32](4 * numChunks)
+	d.outSz = futurerd.NewArray[int32](numChunks)
+	d.ref = futurerd.NewArray[int32](numChunks)
+	d.compressed = make([][]byte, numChunks)
+
+	raw := d.input.Raw()
+	distinct := numChunks/2 + 1
+	for c := 0; c < numChunks; c++ {
+		// Chunk c repeats content id (c % distinct) — later chunks
+		// duplicate earlier ones.
+		id := uint64(c % distinct)
+		for i := 0; i < d.chunkLen; i++ {
+			// Runs of repeated bytes so RLE actually compresses.
+			raw[c*d.chunkLen+i] = byte(splitmix64(seed*0xA000A+id*1000+uint64(i/8)) % 16)
+		}
+	}
+	return d
+}
+
+// Name implements Instance.
+func (d *Dedup) Name() string { return fmt.Sprintf("dedup(chunks=%d)", d.numChunks) }
+
+// fingerprint hashes chunk c with instrumented reads (FNV-1a).
+func (d *Dedup) fingerprint(t *futurerd.Task, c int) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < d.chunkLen; i++ {
+		h ^= uint64(d.input.Get(t, c*d.chunkLen+i))
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1 // 0 marks an empty table slot
+	}
+	return h
+}
+
+// compress runs the deliberately uninstrumented RLE kernel over chunk c.
+func (d *Dedup) compress(c int) []byte {
+	raw := d.input.Raw()[c*d.chunkLen : (c+1)*d.chunkLen]
+	var out []byte
+	for i := 0; i < len(raw); {
+		j := i
+		for j < len(raw) && raw[j] == raw[i] && j-i < 255 {
+			j++
+		}
+		out = append(out, byte(j-i), raw[i])
+		i = j
+	}
+	return out
+}
+
+// decompress inverts compress (used by Validate).
+func decompress(in []byte) []byte {
+	var out []byte
+	for i := 0; i+1 < len(in); i += 2 {
+		for k := byte(0); k < in[i]; k++ {
+			out = append(out, in[i+1])
+		}
+	}
+	return out
+}
+
+// dedupCell is one element of the dedup-stage chain: the chunk's compress
+// future (invalid for duplicates) plus the chain link.
+type dedupCell struct {
+	Chunk    int
+	Compress futurerd.Future[[]byte]
+	Next     futurerd.Future[*dedupCell]
+}
+
+// Run implements Instance.
+func (d *Dedup) Run(t *futurerd.Task) {
+	clear(d.table.Raw())
+	clear(d.slot.Raw())
+	clear(d.outSz.Raw())
+	clear(d.ref.Raw())
+
+	// Stage 1: fingerprint futures, one per chunk, all parallel.
+	prints := make([]futurerd.Future[uint64], d.numChunks)
+	for c := 0; c < d.numChunks; c++ {
+		c := c
+		prints[c] = futurerd.Async(t, func(ft *futurerd.Task) uint64 {
+			fp := d.fingerprint(ft, c)
+			if d.InjectRace && c == 1 {
+				// Race injection: this parallel stage writes the output
+				// slot of chunk 0, which the root's drain also writes
+				// before anything has joined this future.
+				d.outSz.Set(ft, 0, -1)
+			}
+			return fp
+		})
+	}
+
+	// Stage 2+3: the dedup chain walks chunks in order; each step probes
+	// the table and, for new content, launches a compress future.
+	var step func(c int) func(*futurerd.Task) *dedupCell
+	step = func(c int) func(*futurerd.Task) *dedupCell {
+		return func(ft *futurerd.Task) *dedupCell {
+			fp := prints[c].Get(ft) // single touch of the fingerprint
+			cell := &dedupCell{Chunk: c}
+			n := d.table.Len()
+			i := int(fp % uint64(n))
+			for {
+				v := d.table.Get(ft, i)
+				if v == fp {
+					cell.Compress = futurerd.Future[[]byte]{} // duplicate
+					d.ref.Set(ft, c, d.slot.Get(ft, i))
+					break
+				}
+				if v == 0 {
+					d.table.Set(ft, i, fp)
+					d.slot.Set(ft, i, int32(c))
+					d.ref.Set(ft, c, -1)
+					cell.Compress = futurerd.Async(ft, func(*futurerd.Task) []byte {
+						return d.compress(c) // uninstrumented kernel
+					})
+					break
+				}
+				i = (i + 1) % n
+			}
+			if c+1 < d.numChunks {
+				cell.Next = futurerd.Async(ft, step(c+1))
+			}
+			return cell
+		}
+	}
+	head := futurerd.Async(t, step(0))
+
+	// Stage 4: the root drains the chain in order.
+	cell := head.Get(t)
+	for {
+		if cell.Compress.Valid() {
+			buf := cell.Compress.Get(t)
+			d.compressed[cell.Chunk] = buf
+			d.outSz.Set(t, cell.Chunk, int32(len(buf)))
+		}
+		if !cell.Next.Valid() {
+			break
+		}
+		cell = cell.Next.Get(t)
+	}
+}
+
+// Validate implements Instance: unique chunks must decompress to their
+// original bytes; duplicates must reference content-identical chunks.
+func (d *Dedup) Validate() error {
+	if d.InjectRace {
+		return nil
+	}
+	raw := d.input.Raw()
+	refs := d.ref.Raw()
+	for c := 0; c < d.numChunks; c++ {
+		chunk := raw[c*d.chunkLen : (c+1)*d.chunkLen]
+		if r := refs[c]; r >= 0 {
+			dup := raw[int(r)*d.chunkLen : (int(r)+1)*d.chunkLen]
+			for i := range chunk {
+				if chunk[i] != dup[i] {
+					return fmt.Errorf("dedup: chunk %d deduped to %d but content differs", c, r)
+				}
+			}
+			if d.compressed[c] != nil {
+				return fmt.Errorf("dedup: duplicate chunk %d was compressed", c)
+			}
+			continue
+		}
+		got := decompress(d.compressed[c])
+		if len(got) != len(chunk) {
+			return fmt.Errorf("dedup: chunk %d decompressed to %d bytes, want %d",
+				c, len(got), len(chunk))
+		}
+		for i := range chunk {
+			if got[i] != chunk[i] {
+				return fmt.Errorf("dedup: chunk %d byte %d = %d, want %d",
+					c, i, got[i], chunk[i])
+			}
+		}
+	}
+	return nil
+}

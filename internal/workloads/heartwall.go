@@ -1,0 +1,272 @@
+package workloads
+
+import (
+	"fmt"
+
+	"futurerd"
+)
+
+// Heartwall is a stand-in for the Rodinia Heart Wall tracking benchmark:
+// P sample points are tracked through F frames of an ultrasound video;
+// each point's position in frame f is found by searching a window around
+// its position in frame f−1. The dependence structure — per-point
+// pipelines across frames consuming shared frame data — is exactly the
+// pattern the paper says "cannot be easily implemented using fork-join
+// constructs alone".
+//
+// The real benchmark reads image files; we synthesize deterministic
+// frames instead (see DESIGN.md's substitution table): pixel (x,y) of
+// frame f is a hash of (f,x,y) with a bright blob that drifts one pixel
+// per frame, so tracking has a meaningful optimum and a sequential
+// reference can verify every position.
+//
+// Structured variant: frames are produced by the root task up front; each
+// point is a chain of single-touch futures, one per frame, each getting
+// its predecessor.
+//
+// General variant: each frame is produced by its own future, touched by
+// all P point-step futures that read it (multi-touch ⇒ MultiBags+), plus
+// the per-point predecessor gets.
+type Heartwall struct {
+	points, frames int
+	variant        Variant
+	seed           uint64
+
+	dim    int                     // frame is dim×dim pixels
+	win    int                     // search window radius
+	frameD *futurerd.Matrix[int32] // frames × (dim*dim) pixel data
+	posX   *futurerd.Matrix[int32] // points × (frames+1)
+	posY   *futurerd.Matrix[int32]
+
+	InjectRace bool
+}
+
+// NewHeartwall builds an instance with the given point and frame counts.
+func NewHeartwall(points, frames int, variant Variant, seed uint64) *Heartwall {
+	h := &Heartwall{
+		points: points, frames: frames, variant: variant, seed: seed,
+		dim: 24, win: 2,
+	}
+	h.frameD = futurerd.NewMatrix[int32](frames, h.dim*h.dim)
+	h.posX = futurerd.NewMatrix[int32](points, frames+1)
+	h.posY = futurerd.NewMatrix[int32](points, frames+1)
+	return h
+}
+
+// Name implements Instance.
+func (h *Heartwall) Name() string {
+	return fmt.Sprintf("heartwall(P=%d,F=%d,%s)", h.points, h.frames, h.variant)
+}
+
+// pixel synthesizes frame f's pixel (x,y): background noise plus a blob
+// that drifts diagonally one pixel per frame.
+func (h *Heartwall) pixel(f, x, y int) int32 {
+	noise := int32(splitmix64(h.seed*0x90009+uint64(f*h.dim*h.dim+y*h.dim+x)) % 64)
+	bx, by := (4+f)%h.dim, (4+f)%h.dim
+	dx, dy := x-bx, y-by
+	if d := dx*dx + dy*dy; d < 9 {
+		return 255 - int32(d*16) + noise
+	}
+	return noise
+}
+
+// renderFrame fills frame f's row of the frame matrix (instrumented).
+func (h *Heartwall) renderFrame(t *futurerd.Task, f int) {
+	row := h.frameD.WriteRow(t, f, 0, h.dim*h.dim)
+	for y := 0; y < h.dim; y++ {
+		for x := 0; x < h.dim; x++ {
+			row[y*h.dim+x] = h.pixel(f, x, y)
+		}
+	}
+}
+
+// initPositions seeds each point near the blob's initial location.
+func (h *Heartwall) initPositions() {
+	px, py := h.posX.Raw(), h.posY.Raw()
+	for p := 0; p < h.points; p++ {
+		px[p*(h.frames+1)] = int32(3 + p%4)
+		py[p*(h.frames+1)] = int32(3 + (p/4)%4)
+	}
+}
+
+// template is the sought blob profile at patch offset (px,py) from the
+// candidate center (the blob's brightness falls off with distance).
+func template(px, py int) int32 {
+	d := px*px + py*py
+	if d < 9 {
+		return 255 - int32(d*16)
+	}
+	return 0
+}
+
+// track computes point p's position in frame f from its position in f−1
+// by minimizing the sum of squared differences between a 5×5 patch and
+// the blob template over the search window — the Rodinia kernel's
+// template matching, on instrumented frame reads. The previous position
+// is an instrumented read and the new one an instrumented write.
+func (h *Heartwall) track(t *futurerd.Task, p, f int) {
+	x0 := int(h.posX.Get(t, p, f))
+	y0 := int(h.posY.Get(t, p, f))
+	bestX, bestY := x0, y0
+	bestV := int64(1) << 62
+	for dy := -h.win; dy <= h.win; dy++ {
+		for dx := -h.win; dx <= h.win; dx++ {
+			x, y := x0+dx, y0+dy
+			if x < 2 || y < 2 || x >= h.dim-2 || y >= h.dim-2 {
+				continue
+			}
+			var ssd int64
+			for py := -2; py <= 2; py++ {
+				for px := -2; px <= 2; px++ {
+					v := h.frameD.Get(t, f, (y+py)*h.dim+(x+px))
+					d := int64(v - template(px, py))
+					ssd += d * d
+				}
+			}
+			if ssd < bestV {
+				bestV, bestX, bestY = ssd, x, y
+			}
+		}
+	}
+	h.posX.Set(t, p, f+1, int32(bestX))
+	h.posY.Set(t, p, f+1, int32(bestY))
+}
+
+// pointCell is one element of a per-point pipeline.
+type pointCell struct {
+	Next futurerd.Future[*pointCell]
+}
+
+// Run implements Instance.
+func (h *Heartwall) Run(t *futurerd.Task) {
+	h.initPositions()
+	if h.variant == StructuredFutures {
+		h.runStructured(t)
+		return
+	}
+	h.runGeneral(t)
+}
+
+func (h *Heartwall) runStructured(t *futurerd.Task) {
+	// Frames are rendered by the root before any tracker starts: reads of
+	// frame data are ordered by program order plus the create edges.
+	for f := 0; f < h.frames; f++ {
+		h.renderFrame(t, f)
+	}
+	var step func(p, f int) func(*futurerd.Task) *pointCell
+	step = func(p, f int) func(*futurerd.Task) *pointCell {
+		return func(ft *futurerd.Task) *pointCell {
+			h.track(ft, p, f)
+			cell := &pointCell{}
+			if f+1 < h.frames {
+				cell.Next = futurerd.Async(ft, step(p, f+1))
+			}
+			return cell
+		}
+	}
+	heads := make([]futurerd.Future[*pointCell], h.points)
+	for p := 0; p < h.points; p++ {
+		p := p
+		if h.InjectRace && p == 1 {
+			// Race injection: point 1's chain starts as a plain future
+			// whose first step reads positions written by... itself only;
+			// instead race on the shared frame row: re-render frame 0
+			// in parallel with every tracker that reads it.
+			futurerd.Async(t, func(ft *futurerd.Task) *pointCell {
+				h.renderFrame(ft, 0)
+				return nil
+			})
+		}
+		heads[p] = futurerd.Async(t, step(p, 0))
+	}
+	// Drain every chain, touching each cell future exactly once.
+	for p := 0; p < h.points; p++ {
+		cell := heads[p].Get(t)
+		for cell.Next.Valid() {
+			cell = cell.Next.Get(t)
+		}
+	}
+}
+
+func (h *Heartwall) runGeneral(t *futurerd.Task) {
+	frameFuts := make([]futurerd.Future[int], h.frames)
+	for f := 0; f < h.frames; f++ {
+		f := f
+		frameFuts[f] = futurerd.Async(t, func(ft *futurerd.Task) int {
+			h.renderFrame(ft, f)
+			return f
+		})
+	}
+	steps := make([]futurerd.Future[int], h.points*h.frames)
+	for f := 0; f < h.frames; f++ {
+		for p := 0; p < h.points; p++ {
+			p, f := p, f
+			steps[p*h.frames+f] = futurerd.Async(t, func(ft *futurerd.Task) int {
+				skip := h.InjectRace && p == 1 && f == 0
+				if !skip {
+					frameFuts[f].Get(ft) // multi-touch: all P points join frame f
+				}
+				if f > 0 {
+					steps[p*h.frames+f-1].Get(ft)
+				}
+				h.track(ft, p, f)
+				return 0
+			})
+		}
+	}
+	for p := 0; p < h.points; p++ {
+		steps[p*h.frames+h.frames-1].Get(t)
+	}
+}
+
+// Reference recomputes all positions sequentially without instrumentation.
+func (h *Heartwall) Reference() ([]int32, []int32) {
+	px := make([]int32, h.points*(h.frames+1))
+	py := make([]int32, h.points*(h.frames+1))
+	for p := 0; p < h.points; p++ {
+		px[p*(h.frames+1)] = int32(3 + p%4)
+		py[p*(h.frames+1)] = int32(3 + (p/4)%4)
+	}
+	for p := 0; p < h.points; p++ {
+		for f := 0; f < h.frames; f++ {
+			x0 := int(px[p*(h.frames+1)+f])
+			y0 := int(py[p*(h.frames+1)+f])
+			bestX, bestY := x0, y0
+			bestV := int64(1) << 62
+			for dy := -h.win; dy <= h.win; dy++ {
+				for dx := -h.win; dx <= h.win; dx++ {
+					x, y := x0+dx, y0+dy
+					if x < 2 || y < 2 || x >= h.dim-2 || y >= h.dim-2 {
+						continue
+					}
+					var ssd int64
+					for pyy := -2; pyy <= 2; pyy++ {
+						for pxx := -2; pxx <= 2; pxx++ {
+							d := int64(h.pixel(f, x+pxx, y+pyy) - template(pxx, pyy))
+							ssd += d * d
+						}
+					}
+					if ssd < bestV {
+						bestV, bestX, bestY = ssd, x, y
+					}
+				}
+			}
+			px[p*(h.frames+1)+f+1] = int32(bestX)
+			py[p*(h.frames+1)+f+1] = int32(bestY)
+		}
+	}
+	return px, py
+}
+
+// Validate implements Instance.
+func (h *Heartwall) Validate() error {
+	wantX, wantY := h.Reference()
+	gotX, gotY := h.posX.Raw(), h.posY.Raw()
+	for i := range wantX {
+		if gotX[i] != wantX[i] || gotY[i] != wantY[i] {
+			return fmt.Errorf("heartwall: position %d = (%d,%d), want (%d,%d)",
+				i, gotX[i], gotY[i], wantX[i], wantY[i])
+		}
+	}
+	return nil
+}

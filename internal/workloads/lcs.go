@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"fmt"
+
+	"futurerd"
+)
+
+// LCS is the longest-common-subsequence benchmark: a blocked dynamic
+// program over two synthetic strings where block (r,c) needs the blocks
+// above and to its left — the canonical wavefront the paper evaluates
+// (Θ(n²) work, (n/B)² futures).
+type LCS struct {
+	n, b    int
+	variant Variant
+	seed    uint64
+
+	a, bs *futurerd.Array[byte]   // inputs
+	d     *futurerd.Matrix[int32] // (n+1)×(n+1) DP table
+
+	// InjectRace, when set, drops one tile's up dependence (tests only).
+	InjectRace bool
+}
+
+// NewLCS builds an instance for strings of length n with block size b.
+func NewLCS(n, b int, variant Variant, seed uint64) *LCS {
+	l := &LCS{
+		n: n, b: b, variant: variant, seed: seed,
+		a:  futurerd.NewArray[byte](n + 1),
+		bs: futurerd.NewArray[byte](n + 1),
+		d:  futurerd.NewMatrix[int32](n+1, n+1),
+	}
+	// Inputs are generated outside the timed/detected region (the paper's
+	// inputs are likewise prepared before detection starts). Alphabet of 4
+	// symbols keeps matches frequent.
+	ra, rb := l.a.Raw(), l.bs.Raw()
+	for i := 1; i <= n; i++ {
+		ra[i] = byte(splitmix64(seed*0x10001+uint64(i)) % 4)
+		rb[i] = byte(splitmix64(seed*0x20002+uint64(i)) % 4)
+	}
+	return l
+}
+
+// Name implements Instance.
+func (l *LCS) Name() string { return fmt.Sprintf("lcs(n=%d,B=%d,%s)", l.n, l.b, l.variant) }
+
+// kernel computes one tile of the DP table with instrumented accesses:
+// two input reads, three table reads and one table write per cell.
+func (l *LCS) kernel(t *futurerd.Task, r, c int) {
+	i0, i1 := tileBounds(r, l.b, l.n)
+	j0, j1 := tileBounds(c, l.b, l.n)
+	for i := i0; i < i1; i++ {
+		ai := l.a.Get(t, i)
+		for j := j0; j < j1; j++ {
+			bj := l.bs.Get(t, j)
+			var v int32
+			if ai == bj {
+				v = l.d.Get(t, i-1, j-1) + 1
+			} else {
+				v = max(l.d.Get(t, i-1, j), l.d.Get(t, i, j-1))
+			}
+			l.d.Set(t, i, j, v)
+		}
+	}
+}
+
+// Run implements Instance.
+func (l *LCS) Run(t *futurerd.Task) {
+	tiles := numTiles(l.n, l.b)
+	inject := -1
+	if l.InjectRace && tiles > 1 {
+		inject = (tiles/2)*tiles + tiles/2 // a middle tile
+	}
+	wavefront(t, tiles, tiles, l.variant, l.kernel, inject)
+}
+
+// Reference computes the DP table sequentially without instrumentation.
+func (l *LCS) Reference() []int32 {
+	n := l.n
+	a, b := l.a.Raw(), l.bs.Raw()
+	ref := make([]int32, (n+1)*(n+1))
+	at := func(i, j int) int32 { return ref[i*(n+1)+j] }
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			var v int32
+			if a[i] == b[j] {
+				v = at(i-1, j-1) + 1
+			} else {
+				v = max(at(i-1, j), at(i, j-1))
+			}
+			ref[i*(n+1)+j] = v
+		}
+	}
+	return ref
+}
+
+// Validate implements Instance: the full table must match the reference.
+func (l *LCS) Validate() error {
+	ref := l.Reference()
+	got := l.d.Raw()
+	for k := range ref {
+		if got[k] != ref[k] {
+			return fmt.Errorf("lcs: cell %d = %d, want %d", k, got[k], ref[k])
+		}
+	}
+	if got[l.n*(l.n+1)+l.n] == 0 && l.n > 8 {
+		return fmt.Errorf("lcs: degenerate result (LCS length 0)")
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"fmt"
+
+	"futurerd"
+)
+
+// MM is divide-and-conquer matrix multiplication without temporary
+// matrices: C += A·B splits into quadrants and runs two phases of four
+// independent sub-multiplications; the second phase accumulates into the
+// same C quadrants as the first and must therefore wait for it. The paper
+// evaluates this with (n/B)³ futures and Θ(n³) work.
+//
+// Structured variant: each recursion level creates four phase-1 futures,
+// joins all four, then four phase-2 futures and joins them — single-touch,
+// creator before getter.
+//
+// General variant: all eight futures are created up front; each phase-2
+// future gets the one phase-1 future that writes its C quadrant, and the
+// level's epilogue joins the phase-2 futures and re-touches the phase-1
+// ones — multi-touch handles, as in the paper's general implementations.
+type MM struct {
+	n, base int
+	variant Variant
+
+	a, b, c *futurerd.Matrix[int32]
+
+	InjectRace bool
+}
+
+// NewMM builds an n×n instance (n must be a power of two) with the given
+// recursion base case.
+func NewMM(n, base int, variant Variant, seed uint64) *MM {
+	if n&(n-1) != 0 {
+		panic("mm: n must be a power of two")
+	}
+	if base < 2 {
+		base = 2
+	}
+	m := &MM{
+		n: n, base: base, variant: variant,
+		a: futurerd.NewMatrix[int32](n, n),
+		b: futurerd.NewMatrix[int32](n, n),
+		c: futurerd.NewMatrix[int32](n, n),
+	}
+	ra, rb := m.a.Raw(), m.b.Raw()
+	for i := range ra {
+		ra[i] = int32(splitmix64(seed*0x50005+uint64(i)) % 8)
+		rb[i] = int32(splitmix64(seed*0x60006+uint64(i)) % 8)
+	}
+	return m
+}
+
+// Name implements Instance.
+func (m *MM) Name() string { return fmt.Sprintf("mm(n=%d,B=%d,%s)", m.n, m.base, m.variant) }
+
+// quad identifies a submatrix by its top-left corner; sizes are implicit.
+type quad struct{ r, c int }
+
+// mulBase is the instrumented base-case kernel: C += A·B on size×size
+// submatrices.
+func (m *MM) mulBase(t *futurerd.Task, cq, aq, bq quad, size int) {
+	for i := 0; i < size; i++ {
+		for k := 0; k < size; k++ {
+			av := m.a.Get(t, aq.r+i, aq.c+k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < size; j++ {
+				bv := m.b.Get(t, bq.r+k, bq.c+j)
+				cv := m.c.Get(t, cq.r+i, cq.c+j)
+				m.c.Set(t, cq.r+i, cq.c+j, cv+av*bv)
+			}
+		}
+	}
+}
+
+// mul recursively computes C += A·B over size×size quadrants.
+func (m *MM) mul(t *futurerd.Task, cq, aq, bq quad, size int, topLevel bool) {
+	if size <= m.base {
+		m.mulBase(t, cq, aq, bq, size)
+		return
+	}
+	h := size / 2
+	c11, c12 := cq, quad{cq.r, cq.c + h}
+	c21, c22 := quad{cq.r + h, cq.c}, quad{cq.r + h, cq.c + h}
+	a11, a12 := aq, quad{aq.r, aq.c + h}
+	a21, a22 := quad{aq.r + h, aq.c}, quad{aq.r + h, aq.c + h}
+	b11, b12 := bq, quad{bq.r, bq.c + h}
+	b21, b22 := quad{bq.r + h, bq.c}, quad{bq.r + h, bq.c + h}
+
+	// Phase 1 writes each C quadrant once; phase 2 accumulates into the
+	// same quadrants and must run after it.
+	phase1 := [4][3]quad{{c11, a11, b11}, {c12, a11, b12}, {c21, a21, b11}, {c22, a21, b12}}
+	phase2 := [4][3]quad{{c11, a12, b21}, {c12, a12, b22}, {c21, a22, b21}, {c22, a22, b22}}
+
+	launch := func(p [3]quad) futurerd.Future[int] {
+		return futurerd.Async(t, func(ft *futurerd.Task) int {
+			m.mul(ft, p[0], p[1], p[2], h, false)
+			return 0
+		})
+	}
+
+	if m.variant == StructuredFutures {
+		var f1 [4]futurerd.Future[int]
+		for i, p := range phase1 {
+			f1[i] = launch(p)
+		}
+		skipJoin := m.InjectRace && topLevel
+		for i := range f1 {
+			if skipJoin && i == 0 {
+				continue // race injection: phase 2 overlaps phase 1 on C11
+			}
+			f1[i].Get(t)
+		}
+		var f2 [4]futurerd.Future[int]
+		for i, p := range phase2 {
+			f2[i] = launch(p)
+		}
+		for i := range f2 {
+			f2[i].Get(t)
+		}
+		return
+	}
+
+	// General: fine-grained per-quadrant dependences, multi-touch joins.
+	var f1, f2 [4]futurerd.Future[int]
+	for i, p := range phase1 {
+		f1[i] = launch(p)
+	}
+	for i, p := range phase2 {
+		i, p := i, p
+		f2[i] = futurerd.Async(t, func(ft *futurerd.Task) int {
+			if !(m.InjectRace && topLevel && i == 0) {
+				f1[i].Get(ft) // first touch of the matching phase-1 future
+			}
+			m.mul(ft, p[0], p[1], p[2], h, false)
+			return 0
+		})
+	}
+	for i := range f2 {
+		f2[i].Get(t)
+		f1[i].Get(t) // second touch: multi-touch join, general futures
+	}
+}
+
+// Run implements Instance.
+func (m *MM) Run(t *futurerd.Task) {
+	// Reset C so an instance can run under several configurations.
+	clear(m.c.Raw())
+	m.mul(t, quad{0, 0}, quad{0, 0}, quad{0, 0}, m.n, true)
+}
+
+// Reference computes A·B sequentially without instrumentation.
+func (m *MM) Reference() []int32 {
+	n := m.n
+	a, b := m.a.Raw(), m.b.Raw()
+	ref := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a[i*n+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				ref[i*n+j] += av * b[k*n+j]
+			}
+		}
+	}
+	return ref
+}
+
+// Validate implements Instance.
+func (m *MM) Validate() error {
+	ref := m.Reference()
+	got := m.c.Raw()
+	for k := range ref {
+		if got[k] != ref[k] {
+			return fmt.Errorf("mm: cell %d = %d, want %d", k, got[k], ref[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+
+	"futurerd"
+)
+
+// SW is the Smith-Waterman benchmark: local sequence alignment with
+// general (length-dependent) gap penalties, the classic Θ(n³) recurrence —
+// every cell scans its full row and column prefix:
+//
+//	H[i][j] = max(0,
+//	              H[i-1][j-1] + s(a_i, b_j),
+//	              max_{k<i} H[k][j] − gap(i−k),
+//	              max_{l<j} H[i][l] − gap(j−l))
+//
+// The same blocked wavefront as lcs applies: the up/left tile dependences
+// transitively order the entire column and row prefixes a cell reads.
+// This matches the paper's sw: Θ(n³) work against only (n/B)² futures,
+// which is why shrinking the base case barely hurts MultiBags+ here
+// (Figure 8).
+type SW struct {
+	n, b    int
+	variant Variant
+	seed    uint64
+
+	a, bs *futurerd.Array[byte]
+	h     *futurerd.Matrix[int32]
+
+	InjectRace bool
+}
+
+// Scoring parameters: match/mismatch and linear gap open+extend.
+const (
+	swMatch    = 2
+	swMismatch = -1
+	swGapOpen  = 1
+	swGapExt   = 1
+)
+
+func swGap(k int) int32 { return int32(swGapOpen + swGapExt*k) }
+
+// NewSW builds an instance for sequences of length n with block size b.
+func NewSW(n, b int, variant Variant, seed uint64) *SW {
+	s := &SW{
+		n: n, b: b, variant: variant, seed: seed,
+		a:  futurerd.NewArray[byte](n + 1),
+		bs: futurerd.NewArray[byte](n + 1),
+		h:  futurerd.NewMatrix[int32](n+1, n+1),
+	}
+	ra, rb := s.a.Raw(), s.bs.Raw()
+	for i := 1; i <= n; i++ {
+		ra[i] = byte(splitmix64(seed*0x30003+uint64(i)) % 4)
+		rb[i] = byte(splitmix64(seed*0x40004+uint64(i)) % 4)
+	}
+	return s
+}
+
+// Name implements Instance.
+func (s *SW) Name() string { return fmt.Sprintf("sw(n=%d,B=%d,%s)", s.n, s.b, s.variant) }
+
+func swScore(x, y byte) int32 {
+	if x == y {
+		return swMatch
+	}
+	return swMismatch
+}
+
+// kernel computes one tile; each cell reads its whole row and column
+// prefix (instrumented), giving the benchmark its Θ(n³) profile.
+func (s *SW) kernel(t *futurerd.Task, r, c int) {
+	i0, i1 := tileBounds(r, s.b, s.n)
+	j0, j1 := tileBounds(c, s.b, s.n)
+	for i := i0; i < i1; i++ {
+		ai := s.a.Get(t, i)
+		for j := j0; j < j1; j++ {
+			bj := s.bs.Get(t, j)
+			best := s.h.Get(t, i-1, j-1) + swScore(ai, bj)
+			for k := 1; k < i; k++ { // column prefix
+				if v := s.h.Get(t, k, j) - swGap(i-k); v > best {
+					best = v
+				}
+			}
+			for l := 1; l < j; l++ { // row prefix
+				if v := s.h.Get(t, i, l) - swGap(j-l); v > best {
+					best = v
+				}
+			}
+			if best < 0 {
+				best = 0
+			}
+			s.h.Set(t, i, j, best)
+		}
+	}
+}
+
+// Run implements Instance.
+func (s *SW) Run(t *futurerd.Task) {
+	tiles := numTiles(s.n, s.b)
+	inject := -1
+	if s.InjectRace && tiles > 1 {
+		inject = (tiles/2)*tiles + tiles/2
+	}
+	wavefront(t, tiles, tiles, s.variant, s.kernel, inject)
+}
+
+// Reference computes H sequentially without instrumentation.
+func (s *SW) Reference() []int32 {
+	n := s.n
+	a, b := s.a.Raw(), s.bs.Raw()
+	ref := make([]int32, (n+1)*(n+1))
+	at := func(i, j int) int32 { return ref[i*(n+1)+j] }
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			best := at(i-1, j-1) + swScore(a[i], b[j])
+			for k := 1; k < i; k++ {
+				if v := at(k, j) - swGap(i-k); v > best {
+					best = v
+				}
+			}
+			for l := 1; l < j; l++ {
+				if v := at(i, l) - swGap(j-l); v > best {
+					best = v
+				}
+			}
+			if best < 0 {
+				best = 0
+			}
+			ref[i*(n+1)+j] = best
+		}
+	}
+	return ref
+}
+
+// Validate implements Instance.
+func (s *SW) Validate() error {
+	ref := s.Reference()
+	got := s.h.Raw()
+	for k := range ref {
+		if got[k] != ref[k] {
+			return fmt.Errorf("sw: cell %d = %d, want %d", k, got[k], ref[k])
+		}
+	}
+	return nil
+}

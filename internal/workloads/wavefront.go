@@ -1,0 +1,121 @@
+package workloads
+
+import "futurerd"
+
+// This file implements the tiled wavefront pattern shared by lcs and sw:
+// tile (r,c) depends on tile (r-1,c) above and tile (r,c-1) to its left
+// (and transitively on everything up-left of it).
+//
+// The structured variant uses the Blelloch–Reid-Miller pipelining idiom:
+// every tile-row is a linked stream of single-touch futures, where tile
+// (r,c)'s future computes the tile and then creates tile (r,c+1)'s future,
+// returning a cell whose Next field carries the new handle. Row r+1
+// consumes row r's stream one element at a time, so the creator of every
+// handle it touches is sequentially behind the get that delivered the
+// handle — exactly the paper's structured discipline — while rows still
+// overlap diagonally under a parallel schedule.
+//
+// The general variant allocates one future per tile, created row-major by
+// the root task; each tile gets its up and left neighbors directly, so
+// every tile future is touched up to twice (multi-touch ⇒ MultiBags+
+// territory), matching how the paper's general lcs/sw are built.
+
+// wfCell is one element of a tile-row stream.
+type wfCell struct {
+	// Next resolves to the cell of the tile to the right; the zero value
+	// ends the row.
+	Next futurerd.Future[*wfCell]
+}
+
+// wfKernel computes tile (r,c). Implementations read only state that the
+// wavefront dependences order: everything up-left of the tile.
+type wfKernel func(t *futurerd.Task, r, c int)
+
+// wavefront runs a rows×cols tile grid under the given variant.
+// injectRace, when non-negative, encodes a tile index (r*cols+c) whose up
+// dependence is dropped — a deliberate determinacy race used in tests.
+func wavefront(t *futurerd.Task, rows, cols int, variant Variant, kernel wfKernel, injectRace int) {
+	if variant == StructuredFutures {
+		wavefrontStructured(t, rows, cols, kernel, injectRace)
+		return
+	}
+	wavefrontGeneral(t, rows, cols, kernel, injectRace)
+}
+
+func wavefrontStructured(t *futurerd.Task, rows, cols int, kernel wfKernel, injectRace int) {
+	// rowTile returns the body of tile (r,c)'s future. up is the future
+	// of row r-1's cell c (invalid for row 0).
+	var rowTile func(r, c int, up futurerd.Future[*wfCell]) func(*futurerd.Task) *wfCell
+	rowTile = func(r, c int, up futurerd.Future[*wfCell]) func(*futurerd.Task) *wfCell {
+		return func(ft *futurerd.Task) *wfCell {
+			var upCell *wfCell
+			if up.Valid() {
+				if r*cols+c == injectRace {
+					// Race injection: skip the join; the kernel will read
+					// the up-tile's outputs unordered.
+					upCell = &wfCell{}
+				} else {
+					upCell = up.Get(ft) // single touch of row r-1's cell c
+				}
+			}
+			kernel(ft, r, c)
+			cell := &wfCell{}
+			if c+1 < cols {
+				var nextUp futurerd.Future[*wfCell]
+				if upCell != nil {
+					nextUp = upCell.Next
+				}
+				cell.Next = futurerd.Async(ft, rowTile(r, c+1, nextUp))
+			}
+			return cell
+		}
+	}
+
+	// The root creates one head future per row; each head consumes the
+	// previous row's head.
+	var head futurerd.Future[*wfCell]
+	for r := 0; r < rows; r++ {
+		head = futurerd.Async(t, rowTile(r, 0, head))
+	}
+	// Drain the last row (its cells are the only ones without a consumer).
+	cell := head.Get(t)
+	for cell.Next.Valid() {
+		cell = cell.Next.Get(t)
+	}
+}
+
+func wavefrontGeneral(t *futurerd.Task, rows, cols int, kernel wfKernel, injectRace int) {
+	futs := make([]futurerd.Future[int], rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			r, c := r, c
+			idx := r*cols + c
+			futs[idx] = futurerd.Async(t, func(ft *futurerd.Task) int {
+				if r > 0 && idx != injectRace {
+					futs[(r-1)*cols+c].Get(ft) // touch 1 of the up tile
+				}
+				if c > 0 {
+					futs[r*cols+c-1].Get(ft) // touch 2 of the left tile
+				}
+				kernel(ft, r, c)
+				return idx
+			})
+		}
+	}
+	futs[rows*cols-1].Get(t)
+}
+
+// tileBounds converts tile index k of extent n with tile size b into the
+// half-open element range [lo, hi), 1-based to skip the DP boundary
+// row/column.
+func tileBounds(k, b, n int) (lo, hi int) {
+	lo = 1 + k*b
+	hi = lo + b
+	if hi > n+1 {
+		hi = n + 1
+	}
+	return
+}
+
+// numTiles returns ceil(n/b).
+func numTiles(n, b int) int { return (n + b - 1) / b }

@@ -1,0 +1,253 @@
+package workloads
+
+import (
+	"testing"
+
+	"futurerd"
+)
+
+// instances returns every variant instance of every benchmark at test size.
+func instances() []Instance {
+	var out []Instance
+	for _, b := range All(SizeTest) {
+		out = append(out, b.Structured())
+		if b.General != nil {
+			out = append(out, b.General())
+		}
+	}
+	return out
+}
+
+// TestCorrectUnderBaseline: the sequential baseline executor computes the
+// right answers.
+func TestCorrectUnderBaseline(t *testing.T) {
+	for _, ins := range instances() {
+		futurerd.RunSeq(ins.Run)
+		if err := ins.Validate(); err != nil {
+			t.Errorf("%s under baseline: %v", ins.Name(), err)
+		}
+	}
+}
+
+// TestCorrectUnderDetection: the detection engine (full race detection)
+// computes the right answers too — instrumentation must not perturb
+// results.
+func TestCorrectUnderDetection(t *testing.T) {
+	for _, ins := range instances() {
+		rep := futurerd.Detect(futurerd.Config{
+			Mode: futurerd.ModeMultiBagsPlus, Mem: futurerd.MemFull,
+		}, ins.Run)
+		if rep.Err != nil {
+			t.Fatalf("%s: engine error: %v", ins.Name(), rep.Err)
+		}
+		if err := ins.Validate(); err != nil {
+			t.Errorf("%s under detection: %v", ins.Name(), err)
+		}
+	}
+}
+
+// TestCorrectUnderParallel: the work-stealing scheduler computes the right
+// answers (the benchmarks are race free, so any wrong answer is a
+// scheduler bug).
+func TestCorrectUnderParallel(t *testing.T) {
+	for _, ins := range instances() {
+		for _, workers := range []int{2, 4} {
+			futurerd.Run(workers, ins.Run)
+			if err := ins.Validate(); err != nil {
+				t.Errorf("%s under %d workers: %v", ins.Name(), workers, err)
+			}
+		}
+	}
+}
+
+// TestWorkloadsRaceFree: every clean variant must be reported race free by
+// the algorithm the paper prescribes for it, and by the oracle.
+func TestWorkloadsRaceFree(t *testing.T) {
+	for _, b := range All(SizeTest) {
+		type run struct {
+			ins  Instance
+			mode futurerd.Mode
+		}
+		runs := []run{
+			{b.Structured(), futurerd.ModeMultiBags},
+			{b.Structured(), futurerd.ModeMultiBagsPlus},
+			{b.Structured(), futurerd.ModeOracle},
+		}
+		if b.General != nil {
+			runs = append(runs,
+				run{b.General(), futurerd.ModeMultiBagsPlus},
+				run{b.General(), futurerd.ModeOracle},
+			)
+		}
+		for _, r := range runs {
+			rep := futurerd.Detect(futurerd.Config{Mode: r.mode, Mem: futurerd.MemFull}, r.ins.Run)
+			if rep.Err != nil {
+				t.Fatalf("%s [%v]: engine error: %v", r.ins.Name(), r.mode, rep.Err)
+			}
+			if rep.Racy() {
+				t.Errorf("%s [%v]: false positives: %v", r.ins.Name(), r.mode, rep.Races[:min(3, len(rep.Races))])
+			}
+		}
+	}
+}
+
+// TestStructuredVariantsObeyDiscipline: the structured variants must pass
+// the engine's structured-future checker (single touch, creator precedes
+// getter) — i.e. they really are MultiBags-eligible, as the paper's are.
+func TestStructuredVariantsObeyDiscipline(t *testing.T) {
+	for _, b := range All(SizeTest) {
+		ins := b.Structured()
+		rep := futurerd.Detect(futurerd.Config{
+			Mode:            futurerd.ModeMultiBagsPlus,
+			CheckStructured: true,
+		}, ins.Run)
+		for _, v := range rep.Violations {
+			t.Errorf("%s: discipline violation: %s: %s", ins.Name(), v.Kind, v.Detail)
+		}
+	}
+}
+
+// TestGeneralVariantsAreGeneral: the general variants must actually use
+// futures generally (multi-touch), otherwise they would not differentiate
+// MultiBags+ from MultiBags.
+func TestGeneralVariantsAreGeneral(t *testing.T) {
+	for _, b := range All(SizeTest) {
+		if b.General == nil {
+			continue
+		}
+		ins := b.General()
+		rep := futurerd.Detect(futurerd.Config{
+			Mode:            futurerd.ModeMultiBagsPlus,
+			CheckStructured: true,
+		}, ins.Run)
+		found := false
+		for _, v := range rep.Violations {
+			if v.Kind == "multi-touch" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no multi-touch detected; general variant is secretly structured", ins.Name())
+		}
+	}
+}
+
+// TestOracleAgreement runs every workload variant under MultiBags(+) with
+// the oracle cross-check: every reachability verdict on these real
+// dependence structures must match brute-force dag search.
+func TestOracleAgreement(t *testing.T) {
+	for _, b := range All(SizeTest) {
+		rep := futurerd.Detect(futurerd.Config{
+			Mode: futurerd.ModeMultiBags, Mem: futurerd.MemFull, Verify: true,
+		}, b.Structured().Run)
+		for _, v := range rep.Violations {
+			t.Errorf("%s structured [multibags]: %s: %s", b.Name, v.Kind, v.Detail)
+		}
+		rep = futurerd.Detect(futurerd.Config{
+			Mode: futurerd.ModeMultiBagsPlus, Mem: futurerd.MemFull, Verify: true,
+		}, b.Structured().Run)
+		for _, v := range rep.Violations {
+			t.Errorf("%s structured [multibags+]: %s: %s", b.Name, v.Kind, v.Detail)
+		}
+		if b.General == nil {
+			continue
+		}
+		rep = futurerd.Detect(futurerd.Config{
+			Mode: futurerd.ModeMultiBagsPlus, Mem: futurerd.MemFull, Verify: true,
+		}, b.General().Run)
+		for _, v := range rep.Violations {
+			t.Errorf("%s general [multibags+]: %s: %s", b.Name, v.Kind, v.Detail)
+		}
+	}
+}
+
+// TestInjectedRacesDetected: each workload's deliberately broken twin must
+// be flagged — the detector sees through the benchmark's real
+// synchronization, not just toy programs.
+func TestInjectedRacesDetected(t *testing.T) {
+	mk := []struct {
+		name string
+		make func() Instance
+		mode futurerd.Mode
+	}{
+		{"lcs/structured", func() Instance {
+			l := NewLCS(64, 16, StructuredFutures, 1)
+			l.InjectRace = true
+			return l
+		}, futurerd.ModeMultiBags},
+		{"lcs/general", func() Instance {
+			l := NewLCS(64, 16, GeneralFutures, 1)
+			l.InjectRace = true
+			return l
+		}, futurerd.ModeMultiBagsPlus},
+		{"sw/structured", func() Instance {
+			s := NewSW(24, 8, StructuredFutures, 2)
+			s.InjectRace = true
+			return s
+		}, futurerd.ModeMultiBags},
+		{"mm/structured", func() Instance {
+			m := NewMM(16, 4, StructuredFutures, 3)
+			m.InjectRace = true
+			return m
+		}, futurerd.ModeMultiBags},
+		{"mm/general", func() Instance {
+			m := NewMM(16, 4, GeneralFutures, 3)
+			m.InjectRace = true
+			return m
+		}, futurerd.ModeMultiBagsPlus},
+		{"heartwall/structured", func() Instance {
+			h := NewHeartwall(4, 4, StructuredFutures, 4)
+			h.InjectRace = true
+			return h
+		}, futurerd.ModeMultiBags},
+		{"heartwall/general", func() Instance {
+			h := NewHeartwall(4, 4, GeneralFutures, 4)
+			h.InjectRace = true
+			return h
+		}, futurerd.ModeMultiBagsPlus},
+		{"dedup", func() Instance {
+			d := NewDedup(16, 5)
+			d.InjectRace = true
+			return d
+		}, futurerd.ModeMultiBags},
+		{"bst/structured", func() Instance {
+			b := NewBST(200, 100, StructuredFutures, 6)
+			b.InjectRace = true
+			return b
+		}, futurerd.ModeMultiBags},
+	}
+	for _, c := range mk {
+		ins := c.make()
+		rep := futurerd.Detect(futurerd.Config{Mode: c.mode, Mem: futurerd.MemFull}, ins.Run)
+		if rep.Err != nil {
+			t.Fatalf("%s: engine error: %v", c.name, rep.Err)
+		}
+		if !rep.Racy() {
+			t.Errorf("%s: injected race not detected", c.name)
+		}
+		// The oracle must agree the race is real (no false injection).
+		oracle := futurerd.Detect(futurerd.Config{Mode: futurerd.ModeOracle, Mem: futurerd.MemFull}, c.make().Run)
+		if !oracle.Racy() {
+			t.Errorf("%s: oracle says injected race is not real", c.name)
+		}
+	}
+}
+
+// TestLookup exercises the registry.
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("lcs", SizeTest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope", SizeTest); err == nil {
+		t.Fatal("Lookup(nope) should fail")
+	}
+	names := map[string]bool{}
+	for _, b := range All(SizeBench) {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"lcs", "sw", "mm", "heartwall", "dedup", "bst"} {
+		if !names[want] {
+			t.Errorf("benchmark %s missing from registry", want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package futurerd
+
+import "sync/atomic"
+
+// The detector identifies memory locations by virtual addresses drawn
+// from a process-wide allocator, one address per element. This decouples
+// detection from Go's memory layout (no unsafe, fully deterministic) and
+// corresponds to FutureRD's 4-byte shadow granularity: every benchmark
+// element is at least one machine word.
+var addrSpace atomic.Uint64
+
+func init() { addrSpace.Store(1) } // address 0 is reserved
+
+// reserveAddrs grabs n consecutive virtual addresses and returns the base.
+func reserveAddrs(n int) uint64 {
+	if n < 0 {
+		panic("futurerd: negative allocation")
+	}
+	return addrSpace.Add(uint64(n)) - uint64(n)
+}
+
+// Array is a fixed-length instrumented array. Every Get/Set reports the
+// access to the detector under the task's executor; under RunSeq/Run the
+// hooks are no-ops.
+type Array[T any] struct {
+	base uint64
+	data []T
+}
+
+// NewArray allocates an instrumented array of n elements.
+func NewArray[T any](n int) *Array[T] {
+	return &Array[T]{base: reserveAddrs(n), data: make([]T, n)}
+}
+
+// Len returns the number of elements.
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// Get reads element i.
+func (a *Array[T]) Get(t *Task, i int) T {
+	t.Read(a.base + uint64(i))
+	return a.data[i]
+}
+
+// Set writes element i.
+func (a *Array[T]) Set(t *Task, i int, v T) {
+	t.Write(a.base + uint64(i))
+	a.data[i] = v
+}
+
+// Addr returns the virtual address of element i, for manual Read/Write
+// reporting or race diagnostics.
+func (a *Array[T]) Addr(i int) uint64 { return a.base + uint64(i) }
+
+// Raw returns the backing slice without instrumentation. Accesses through
+// it are invisible to the detector — the escape hatch used to model
+// uninstrumentable code such as dedup's compression library.
+func (a *Array[T]) Raw() []T { return a.data }
+
+// Matrix is a rows×cols instrumented matrix in row-major order.
+type Matrix[T any] struct {
+	base       uint64
+	rows, cols int
+	data       []T
+}
+
+// NewMatrix allocates an instrumented rows×cols matrix.
+func NewMatrix[T any](rows, cols int) *Matrix[T] {
+	return &Matrix[T]{
+		base: reserveAddrs(rows * cols),
+		rows: rows, cols: cols,
+		data: make([]T, rows*cols),
+	}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix[T]) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix[T]) Cols() int { return m.cols }
+
+// Get reads element (i, j).
+func (m *Matrix[T]) Get(t *Task, i, j int) T {
+	k := i*m.cols + j
+	t.Read(m.base + uint64(k))
+	return m.data[k]
+}
+
+// Set writes element (i, j).
+func (m *Matrix[T]) Set(t *Task, i, j int, v T) {
+	k := i*m.cols + j
+	t.Write(m.base + uint64(k))
+	m.data[k] = v
+}
+
+// Addr returns the virtual address of element (i, j).
+func (m *Matrix[T]) Addr(i, j int) uint64 { return m.base + uint64(i*m.cols+j) }
+
+// ReadRow reports an instrumented read of columns [j0, j1) of row i and
+// returns the row slice. Bulk variant used by kernels that scan rows.
+func (m *Matrix[T]) ReadRow(t *Task, i, j0, j1 int) []T {
+	k := i*m.cols + j0
+	t.ReadRange(m.base+uint64(k), j1-j0)
+	return m.data[k : k+(j1-j0)]
+}
+
+// WriteRow reports an instrumented write of columns [j0, j1) of row i and
+// returns the row slice for the caller to fill.
+func (m *Matrix[T]) WriteRow(t *Task, i, j0, j1 int) []T {
+	k := i*m.cols + j0
+	t.WriteRange(m.base+uint64(k), j1-j0)
+	return m.data[k : k+(j1-j0)]
+}
+
+// Raw returns the backing slice without instrumentation.
+func (m *Matrix[T]) Raw() []T { return m.data }
+
+// Var is a single instrumented cell.
+type Var[T any] struct {
+	base uint64
+	v    T
+}
+
+// NewVar allocates an instrumented cell holding T's zero value.
+func NewVar[T any]() *Var[T] {
+	return &Var[T]{base: reserveAddrs(1)}
+}
+
+// Get reads the cell.
+func (c *Var[T]) Get(t *Task) T {
+	t.Read(c.base)
+	return c.v
+}
+
+// Set writes the cell.
+func (c *Var[T]) Set(t *Task, v T) {
+	t.Write(c.base)
+	c.v = v
+}
+
+// Addr returns the cell's virtual address.
+func (c *Var[T]) Addr() uint64 { return c.base }

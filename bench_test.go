@@ -185,6 +185,78 @@ func BenchmarkAccessHistory(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessHistoryRange isolates the bulk memory pipeline: one
+// Detect run performs bulk ReadRange/WriteRange traffic in the named
+// pattern, so ns/op tracks the per-word cost of the shadow fast paths
+// (page-cached segment loops, epoch ownership skips, memoized verdicts).
+func BenchmarkAccessHistoryRange(b *testing.B) {
+	const words = 1 << 16 // 16 shadow pages
+	run := func(b *testing.B, root func(*futurerd.Task)) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			rep := futurerd.Detect(futurerd.Config{
+				Mode: futurerd.ModeMultiBags, Mem: futurerd.MemFull,
+			}, root)
+			if rep.Racy() {
+				b.Fatal("unexpected race")
+			}
+		}
+	}
+	b.Run("seqscan", func(b *testing.B) {
+		// One bulk write then one bulk read over a fresh region.
+		arr := futurerd.NewArray[int64](words)
+		base := arr.Addr(0)
+		b.ResetTimer()
+		run(b, func(t *futurerd.Task) {
+			t.WriteRange(base, words)
+			t.ReadRange(base, words)
+		})
+		b.ReportMetric(float64(2*words), "words/op")
+	})
+	b.Run("strided", func(b *testing.B) {
+		// Row-at-a-time traffic with a stride, the wavefront/matrix shape.
+		m := futurerd.NewMatrix[int64](64, 1024)
+		b.ResetTimer()
+		run(b, func(t *futurerd.Task) {
+			for i := 0; i < m.Rows(); i++ {
+				t.WriteRange(m.Addr(i, 0), m.Cols())
+			}
+		})
+		b.ReportMetric(float64(64*1024), "words/op")
+	})
+	b.Run("pagecross", func(b *testing.B) {
+		// Many short ranges straddling page boundaries: the worst case for
+		// the segment splitter and the last-page cache. The arena is
+		// over-allocated and the base rounded up to a page boundary — the
+		// global address allocator gives no alignment guarantee, and an
+		// unaligned base would keep the short ranges inside one page.
+		const pageWords = 1 << 12
+		arr := futurerd.NewArray[int64](words + pageWords)
+		base := (arr.Addr(0) + pageWords - 1) &^ uint64(pageWords-1)
+		b.ResetTimer()
+		run(b, func(t *futurerd.Task) {
+			for pg := uint64(1); pg < words/pageWords; pg++ {
+				t.WriteRange(base+pg*pageWords-32, 64)
+			}
+		})
+		b.ReportMetric(float64((words/pageWords-1)*64), "words/op")
+	})
+	b.Run("ownedrewrite", func(b *testing.B) {
+		// The same strand rewriting its own region: every pass after the
+		// first resolves entirely on the ownership fast path.
+		arr := futurerd.NewArray[int64](words)
+		base := arr.Addr(0)
+		const passes = 8
+		b.ResetTimer()
+		run(b, func(t *futurerd.Task) {
+			for p := 0; p < passes; p++ {
+				t.WriteRange(base, words)
+			}
+		})
+		b.ReportMetric(float64(passes*words), "words/op")
+	})
+}
+
 // BenchmarkParallelSpeedup measures the work-stealing scheduler against
 // sequential execution on the lcs wavefront, documenting that the same
 // programs the detector checks actually scale.

@@ -5,14 +5,21 @@
 // Usage:
 //
 //	futurerd-bench [-table fig6|fig7|fig8|all] [-iters n]
-//	               [-size test|quick|bench] [-validate]
+//	               [-size test|quick|bench] [-validate] [-json]
 //
-// Times are printed in seconds with overheads relative to the baseline
-// configuration; see EXPERIMENTS.md for the recorded comparison against
-// the paper's numbers.
+// By default times are printed as aligned tables, in seconds, with
+// overheads relative to the baseline configuration; see EXPERIMENTS.md
+// for the recorded comparison against the paper's numbers. With -json
+// the same measurements are emitted as one machine-readable JSON
+// document (per-config timings plus run counters, including the shadow
+// fast-path stats), suitable for tracking a perf trajectory across
+// commits:
+//
+//	futurerd-bench -table fig6 -json > BENCH_fig6.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +28,19 @@ import (
 	"futurerd/internal/workloads"
 )
 
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Size         string              `json:"size"`
+	Iters        int                 `json:"iters"`
+	Measurements []bench.Measurement `json:"measurements"`
+}
+
 func main() {
 	table := flag.String("table", "all", "which table to run: fig6, fig7, fig8, all")
 	iters := flag.Int("iters", 3, "timed repetitions per configuration (minimum is reported)")
 	size := flag.String("size", "bench", "input scale: test, quick, bench")
 	validate := flag.Bool("validate", false, "re-validate outputs against sequential references")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
 	var sz workloads.SizeClass
@@ -44,24 +59,37 @@ func main() {
 
 	type gen struct {
 		name string
-		run  func(bench.Options) (*bench.Table, error)
+		run  func(bench.Options) (*bench.Table, []bench.Measurement, error)
 	}
 	gens := []gen{{"fig6", bench.Fig6}, {"fig7", bench.Fig7}, {"fig8", bench.Fig8}}
+	out := jsonReport{Size: *size, Iters: opts.Iters}
 	ran := false
 	for _, g := range gens {
 		if *table != "all" && *table != g.name {
 			continue
 		}
 		ran = true
-		t, err := g.run(opts)
+		t, ms, err := g.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", g.name, err)
 			os.Exit(1)
 		}
-		t.Render(os.Stdout)
+		if *asJSON {
+			out.Measurements = append(out.Measurements, ms...)
+		} else {
+			t.Render(os.Stdout)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown -table %q (want fig6, fig7, fig8 or all)\n", *table)
 		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -156,6 +156,9 @@ func main() {
 		fmt.Printf("reader appends  %d\n", s.Shadow.ReaderAppends)
 		fmt.Printf("reader flushes  %d\n", s.Shadow.ReaderFlushes)
 		fmt.Printf("shadow pages    %d\n", s.Shadow.TouchedPages)
+		fmt.Printf("page-cache hits %d\n", s.Shadow.PageCacheHits)
+		fmt.Printf("owned skips     %d\n", s.Shadow.OwnedSkips)
+		fmt.Printf("memo hits       %d\n", s.Shadow.MemoHits)
 	}
 	for _, r := range rep.Races {
 		fmt.Printf("  %s\n", r)

@@ -38,6 +38,26 @@
 //     (unsound when futures are used).
 //   - Oracle: brute-force dag reachability, for tests.
 //
+// # Memory pipeline
+//
+// Config.Mem selects how much of the per-access pipeline runs, matching
+// the paper's evaluation configurations (§6): MemOff ignores memory
+// accesses entirely ("reachability"), MemInstr fires the hooks and decodes
+// shadow addresses but keeps no history ("instrumentation"), and MemFull
+// runs complete race detection ("full").
+//
+// Under MemFull every access resolves against the shadow access history
+// (internal/shadow): a flat two-level page table of 4096-word pages with a
+// last-page cache, bulk ReadRange/WriteRange operations that split at page
+// boundaries and hoist the page lookup out of the per-word loop, and two
+// epoch-style fast paths — a strand re-accessing a word it already owns
+// skips the protocol outright, and the most recent reachability verdict is
+// memoized across consecutive words with the same last writer. The fast
+// paths are verdict-preserving: they report exactly the races the paper's
+// word-at-a-time protocol reports. Prefer the bulk accessors
+// (Task.ReadRange/WriteRange, Matrix.ReadRow/WriteRow) for contiguous
+// data; they amortize hook dispatch and page lookup over the whole range.
+//
 // # Parallel execution
 //
 // The same program runs in parallel — without detection — on the bundled

@@ -1,0 +1,3 @@
+module futurerd
+
+go 1.22

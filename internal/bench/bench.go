@@ -26,6 +26,23 @@ import (
 	"futurerd/internal/workloads"
 )
 
+// Measurement is one machine-readable timing cell: a (figure, bench,
+// configuration) triple with its wall time, overhead and run counters.
+// cmd/futurerd-bench -json emits these so a perf trajectory can be kept
+// across commits (BENCH_*.json artifacts).
+type Measurement struct {
+	Figure  string  `json:"figure"`
+	Bench   string  `json:"bench"`
+	Config  string  `json:"config"`
+	Seconds float64 `json:"seconds"`
+	// Overhead is the ratio against the same bench's baseline config;
+	// zero for the baseline itself and for configs without a baseline.
+	Overhead float64 `json:"overhead_vs_baseline,omitempty"`
+	// Stats carries the run's counters (reachability traffic, shadow
+	// fast-path hits); nil for baseline runs, which detect nothing.
+	Stats *futurerd.Stats `json:"stats,omitempty"`
+}
+
 // Options configures a harness run.
 type Options struct {
 	// Iters is the number of timed repetitions; the minimum is reported
@@ -140,8 +157,9 @@ func geomean(xs []float64) float64 {
 }
 
 // configGrid runs the paper's four configurations for one instance
-// factory and returns the four minimum times.
-func configGrid(opts Options, mk func() workloads.Instance, mode futurerd.Mode) (base, reach, instr, full time.Duration, err error) {
+// factory and returns the four minimum times plus the full-config report
+// (whose shadow counters the tables and JSON output surface).
+func configGrid(opts Options, mk func() workloads.Instance, mode futurerd.Mode) (base, reach, instr, full time.Duration, fullRep *futurerd.Report, err error) {
 	check := func(ins workloads.Instance, rep *futurerd.Report) error {
 		if rep != nil && rep.Err != nil {
 			return fmt.Errorf("%s: %v", ins.Name(), rep.Err)
@@ -167,8 +185,8 @@ func configGrid(opts Options, mk func() workloads.Instance, mode futurerd.Mode) 
 	if err = check(ins, rep); err != nil {
 		return
 	}
-	full, rep = measure(opts, ins, mode, futurerd.MemFull)
-	err = check(ins, rep)
+	full, fullRep = measure(opts, ins, mode, futurerd.MemFull)
+	err = check(ins, fullRep)
 	return
 }
 
@@ -179,31 +197,57 @@ func checkValidate(opts Options, ins workloads.Instance) error {
 	return ins.Validate()
 }
 
+// skipPct renders the fraction of full-config accesses resolved by the
+// shadow ownership fast path (at most one skip per access, so always
+// ≤ 100%; memo hits are a per-query metric and live in the JSON stats).
+func skipPct(rep *futurerd.Report) string {
+	if rep == nil {
+		return "-"
+	}
+	sh := rep.Stats.Shadow
+	total := sh.Reads + sh.Writes
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(sh.OwnedSkips)/float64(total))
+}
+
 // figure runs one of the paper's overhead tables (Figure 6 for structured
 // variants under MultiBags, Figure 7 for general variants under
 // MultiBags+).
-func figure(opts Options, title string, mode futurerd.Mode, pick func(workloads.Benchmark) func() workloads.Instance) (*Table, error) {
+func figure(opts Options, name, title string, mode futurerd.Mode, pick func(workloads.Benchmark) func() workloads.Instance) (*Table, []Measurement, error) {
 	opts.defaults()
 	t := &Table{
 		Title:  title,
-		Header: []string{"bench", "baseline", "reach", "", "instr", "", "full", ""},
+		Header: []string{"bench", "baseline", "reach", "", "instr", "", "full", "", "skip"},
 	}
+	var ms []Measurement
 	var reachR, instrR, fullR []float64
 	for _, b := range workloads.All(opts.Size) {
 		mk := pick(b)
 		if mk == nil {
 			mk = b.Structured // dedup has a single implementation
 		}
-		base, reach, instr, full, err := configGrid(opts, mk, mode)
+		base, reach, instr, full, fullRep, err := configGrid(opts, mk, mode)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			b.Name, secs(base),
 			secs(reach), ratio(reach, base),
 			secs(instr), ratio(instr, base),
 			secs(full), ratio(full, base),
+			skipPct(fullRep),
 		})
+		ms = append(ms,
+			Measurement{Figure: name, Bench: b.Name, Config: "baseline", Seconds: base.Seconds()},
+			Measurement{Figure: name, Bench: b.Name, Config: "reachability",
+				Seconds: reach.Seconds(), Overhead: float64(reach) / float64(base)},
+			Measurement{Figure: name, Bench: b.Name, Config: "instrumentation",
+				Seconds: instr.Seconds(), Overhead: float64(instr) / float64(base)},
+			Measurement{Figure: name, Bench: b.Name, Config: "full",
+				Seconds: full.Seconds(), Overhead: float64(full) / float64(base),
+				Stats: &fullRep.Stats})
 		// The paper's geomean excludes dedup (its compression stage is
 		// uninstrumented); we follow suit.
 		if b.Name != "dedup" {
@@ -216,14 +260,15 @@ func figure(opts Options, title string, mode futurerd.Mode, pick func(workloads.
 		"geomean overhead (excl. dedup): reach %.2fx, instr %.2fx, full %.2fx",
 		geomean(reachR), geomean(instrR), geomean(fullR)))
 	t.Notes = append(t.Notes,
-		"times are seconds (min of iterations); (x) columns are overhead vs baseline")
-	return t, nil
+		"times are seconds (min of iterations); (x) columns are overhead vs baseline;",
+		"skip = full-config accesses resolved by the shadow owned-word fast path")
+	return t, ms, nil
 }
 
 // Fig6 reproduces Figure 6: structured-future variants race detected with
 // MultiBags, four configurations each.
-func Fig6(opts Options) (*Table, error) {
-	return figure(opts,
+func Fig6(opts Options) (*Table, []Measurement, error) {
+	return figure(opts, "fig6",
 		"Figure 6: structured futures + MultiBags (cf. paper Fig. 6)",
 		futurerd.ModeMultiBags,
 		func(b workloads.Benchmark) func() workloads.Instance { return b.Structured })
@@ -231,8 +276,8 @@ func Fig6(opts Options) (*Table, error) {
 
 // Fig7 reproduces Figure 7: general-future variants race detected with
 // MultiBags+.
-func Fig7(opts Options) (*Table, error) {
-	return figure(opts,
+func Fig7(opts Options) (*Table, []Measurement, error) {
+	return figure(opts, "fig7",
 		"Figure 7: general futures + MultiBags+ (cf. paper Fig. 7)",
 		futurerd.ModeMultiBagsPlus,
 		func(b workloads.Benchmark) func() workloads.Instance { return b.General })
@@ -242,7 +287,7 @@ func Fig7(opts Options) (*Table, error) {
 // MultiBags+ on structured programs while the base case shrinks (the
 // future count k grows), showing MultiBags+'s k² term and R memory bite
 // for lcs and mm but not sw.
-func Fig8(opts Options) (*Table, error) {
+func Fig8(opts Options) (*Table, []Measurement, error) {
 	opts.defaults()
 	type row struct {
 		name string
@@ -276,16 +321,17 @@ func Fig8(opts Options) (*Table, error) {
 		Title:  "Figure 8: reachability-only, MultiBags vs MultiBags+ on structured programs (cf. paper Fig. 8)",
 		Header: []string{"bench", "baseline", "multibags", "", "multibags+", "", "k (gets)", "R nodes"},
 	}
+	var ms []Measurement
 	for _, r := range rows {
 		ins := r.mk()
 		base, _ := measure(opts, ins, futurerd.ModeNone, futurerd.MemOff)
 		mb, rep := measure(opts, ins, futurerd.ModeMultiBags, futurerd.MemOff)
 		if rep != nil && rep.Err != nil {
-			return nil, fmt.Errorf("%s: %v", ins.Name(), rep.Err)
+			return nil, nil, fmt.Errorf("%s: %v", ins.Name(), rep.Err)
 		}
 		mbp, repP := measure(opts, ins, futurerd.ModeMultiBagsPlus, futurerd.MemOff)
 		if repP != nil && repP.Err != nil {
-			return nil, fmt.Errorf("%s: %v", ins.Name(), repP.Err)
+			return nil, nil, fmt.Errorf("%s: %v", ins.Name(), repP.Err)
 		}
 		t.Rows = append(t.Rows, []string{
 			r.name, secs(base),
@@ -294,9 +340,15 @@ func Fig8(opts Options) (*Table, error) {
 			fmt.Sprintf("%d", repP.Stats.Gets),
 			fmt.Sprintf("%d", repP.Stats.Reach.AttachedSets),
 		})
+		ms = append(ms,
+			Measurement{Figure: "fig8", Bench: r.name, Config: "baseline", Seconds: base.Seconds()},
+			Measurement{Figure: "fig8", Bench: r.name, Config: "multibags",
+				Seconds: mb.Seconds(), Overhead: float64(mb) / float64(base), Stats: &rep.Stats},
+			Measurement{Figure: "fig8", Bench: r.name, Config: "multibags+",
+				Seconds: mbp.Seconds(), Overhead: float64(mbp) / float64(base), Stats: &repP.Stats})
 	}
 	t.Notes = append(t.Notes,
 		"smaller base case => more futures => the k^2 term and R's transitive closure grow;",
 		"lcs blows up, sw is insulated by its Theta(n^3) work, matching the paper's Figure 8")
-	return t, nil
+	return t, ms, nil
 }

@@ -32,8 +32,16 @@ type Engine struct {
 
 	nextStrand core.StrandID
 	nextFn     core.FnID
-	curStrand  core.StrandID
-	prec       func(core.StrandID) bool
+
+	// sctx is the shadow-layer context: the reachability structure
+	// (queried directly, no per-query closure), the race sinks (allocated
+	// once so the hot path allocates nothing), and the parallel-construct
+	// generation. Gen is bumped at every construct — exactly when the
+	// reachability relation can mutate or the current strand changes — so
+	// the shadow layer's memoized Precedes verdict, keyed on (Gen,
+	// current strand), can never outlive the relation it was computed
+	// under.
+	sctx shadow.Ctx
 
 	labels map[core.FnID]string
 
@@ -88,7 +96,13 @@ func NewEngine(cfg Config) *Engine {
 		e.hist = shadow.NewHistory()
 	}
 	e.raceSeen = make(map[uint64]struct{})
-	e.prec = func(u core.StrandID) bool { return e.reach.Precedes(u, e.curStrand) }
+	e.sctx.Reach = e.reach
+	e.sctx.OnReadRace = func(addr uint64, r shadow.Racer, cur core.StrandID) {
+		e.reportRace(addr, r.Prev, cur, r.PrevWrite, false)
+	}
+	e.sctx.OnWriteRace = func(addr uint64, r shadow.Racer, cur core.StrandID) {
+		e.reportRace(addr, r.Prev, cur, r.PrevWrite, true)
+	}
 	return e
 }
 
@@ -98,7 +112,6 @@ func (e *Engine) Run(root func(*Task)) *Report {
 	if e.detecting {
 		t.fn = e.newFn()
 		t.strand = e.newStrand(t.fn)
-		e.curStrand = t.strand
 		e.reach.Init(t.fn, t.strand)
 	}
 	func() {
@@ -187,6 +200,7 @@ func (e *Engine) Label(t *Task, label string) {
 // Spawn implements Executor.
 func (e *Engine) Spawn(t *Task, f func(*Task)) {
 	e.spawns++
+	e.sctx.Gen++
 	if !e.detecting {
 		f(&Task{ex: e})
 		return
@@ -200,7 +214,6 @@ func (e *Engine) Spawn(t *Task, f func(*Task)) {
 		Fork: fork, ChildFirst: childFirst, ContFirst: cont,
 	})
 	child := &Task{ex: e, fn: childFn, strand: childFirst}
-	e.curStrand = childFirst
 	f(child)
 	e.Sync(child) // implicit sync at function end
 	childLast := child.strand
@@ -210,13 +223,13 @@ func (e *Engine) Spawn(t *Task, f func(*Task)) {
 		cont: cont, childLast: childLast,
 	})
 	t.strand = cont
-	e.curStrand = cont
 }
 
 // Sync implements Executor: it decomposes the join into one binary join
 // per outstanding child, innermost (most recently spawned) first.
 func (e *Engine) Sync(t *Task) {
 	e.syncs++
+	e.sctx.Gen++
 	if !e.detecting || len(t.spawns) == 0 {
 		t.spawns = t.spawns[:0]
 		return
@@ -234,7 +247,6 @@ func (e *Engine) Sync(t *Task) {
 	}
 	t.spawns = t.spawns[:0]
 	t.strand = cur
-	e.curStrand = cur
 }
 
 // CreateFut implements Executor. Under eager execution the body runs to
@@ -242,6 +254,7 @@ func (e *Engine) Sync(t *Task) {
 // parallel with it.
 func (e *Engine) CreateFut(t *Task, body func(*Task) any) *Fut {
 	e.creates++
+	e.sctx.Gen++
 	if !e.detecting {
 		h := &Fut{}
 		h.Complete(body(&Task{ex: e}))
@@ -257,20 +270,19 @@ func (e *Engine) CreateFut(t *Task, body func(*Task) any) *Fut {
 	})
 	h := &Fut{fn: futFn, creatorStrand: creator, first: futFirst}
 	child := &Task{ex: e, fn: futFn, strand: futFirst}
-	e.curStrand = futFirst
 	h.val = body(child)
 	e.Sync(child) // implicit sync at function end
 	h.last = child.strand
 	h.done = true
 	e.reach.Return(core.ReturnRec{Fn: futFn, ParentFn: t.fn, Last: h.last})
 	t.strand = cont
-	e.curStrand = cont
 	return h
 }
 
 // GetFut implements Executor.
 func (e *Engine) GetFut(t *Task, h *Fut) any {
 	e.gets++
+	e.sctx.Gen++
 	if h == nil {
 		e.fail(fmt.Errorf("%w (nil handle)", ErrFutureNotReady))
 	}
@@ -301,7 +313,6 @@ func (e *Engine) GetFut(t *Task, h *Fut) any {
 		Creator: h.creatorStrand, Touch: h.touches,
 	})
 	t.strand = cont
-	e.curStrand = cont
 	return h.val
 }
 
@@ -311,41 +322,24 @@ func (e *Engine) violate(kind, detail string) {
 	}
 }
 
-// Read implements Executor.
+// Read implements Executor. The whole range is handed to the shadow layer
+// in one call: the page lookup, current strand and race plumbing are
+// resolved once per range, not once per word. MemFull is tested first —
+// it is the only level with per-access work worth branching for.
 func (e *Engine) Read(t *Task, addr uint64, words int) {
-	switch e.mem {
-	case MemOff:
-		return
-	case MemInstr:
-		for i := 0; i < words; i++ {
-			e.hist.Touch(addr + uint64(i))
-		}
-	case MemFull:
-		e.curStrand = t.strand
-		for i := 0; i < words; i++ {
-			if racer, raced := e.hist.Read(addr+uint64(i), t.strand, e.prec); raced {
-				e.reportRace(addr+uint64(i), racer.Prev, t.strand, racer.PrevWrite, false)
-			}
-		}
+	if e.mem == MemFull {
+		e.hist.ReadRange(addr, words, t.strand, &e.sctx)
+	} else if e.mem == MemInstr {
+		e.hist.TouchRange(addr, words)
 	}
 }
 
 // Write implements Executor.
 func (e *Engine) Write(t *Task, addr uint64, words int) {
-	switch e.mem {
-	case MemOff:
-		return
-	case MemInstr:
-		for i := 0; i < words; i++ {
-			e.hist.Touch(addr + uint64(i))
-		}
-	case MemFull:
-		e.curStrand = t.strand
-		for i := 0; i < words; i++ {
-			if racer, raced := e.hist.Write(addr+uint64(i), t.strand, e.prec); raced {
-				e.reportRace(addr+uint64(i), racer.Prev, t.strand, racer.PrevWrite, true)
-			}
-		}
+	if e.mem == MemFull {
+		e.hist.WriteRange(addr, words, t.strand, &e.sctx)
+	} else if e.mem == MemInstr {
+		e.hist.TouchRange(addr, words)
 	}
 }
 

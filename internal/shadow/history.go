@@ -3,12 +3,40 @@
 // that is flushed on each race-free write, keeping the total number of
 // reachability queries bounded by O(number of memory accesses).
 //
-// The table is organised like FutureRD's: a two-level structure where the
-// high bits of the address select a page and the low bits a slot inside a
-// densely allocated page. Addresses come from the library's virtual
-// address allocator; one shadow word covers one element, the analogue of
-// FutureRD's 4-byte granularity (all the paper's benchmarks make accesses
-// of at least 4 bytes).
+// The table is organised like FutureRD's: a two-level flat structure where
+// the high bits of the address select a page and the low bits a slot
+// inside a densely allocated page. Addresses come from the library's
+// virtual address allocator; one shadow word covers one element, the
+// analogue of FutureRD's 4-byte granularity (all the paper's benchmarks
+// make accesses of at least 4 bytes).
+//
+// # Fast paths
+//
+// The per-access cost is dominated by (a) locating the shadow word and
+// (b) the reachability query, so both have dedicated fast paths:
+//
+//   - Page location is a flat two-level table (directory slice → page
+//     array) instead of a map, fronted by a last-page cache, so a
+//     sequential scan resolves its page once per 4096 words.
+//   - ReadRange/WriteRange/TouchRange split a bulk access at page
+//     boundaries, hoist the page lookup out of the loop, and run a tight
+//     per-word loop over the page's slot array.
+//   - Epoch-style ownership: a strand re-accessing a word it already owns
+//     (it is the last writer, and for writes no readers intervened) is
+//     race-free by definition and skips the protocol entirely — the
+//     FastTrack "same epoch" observation transplanted to strand ids.
+//   - The last (writer-strand → current-strand) reachability verdict is
+//     memoized: consecutive words written by the same predecessor strand
+//     pay one Precedes call, not one per word. The memo is keyed by the
+//     engine's construct generation plus the current strand, both of which
+//     change at every parallel construct, so a stale verdict can never be
+//     observed (the reachability relation only mutates at constructs, and
+//     strand ids are never reused).
+//
+// The fast paths are verdict-preserving: for every access they report a
+// race if and only if the word-at-a-time reference protocol (Read/Write
+// below) does, with the same racing strand — see the differential fuzz
+// test FuzzRangeMatchesReference.
 package shadow
 
 import "futurerd/internal/core"
@@ -19,42 +47,121 @@ const PageBits = 12
 const pageSize = 1 << PageBits
 const pageMask = pageSize - 1
 
-// word is the shadow state of one address. The first reader is kept
-// inline so the common one-reader-between-writes case allocates nothing.
+// dirBits sets the directory fan-out of the flat page table: each
+// directory node covers 2^dirBits consecutive pages.
+const dirBits = 10
+
+const dirSize = 1 << dirBits
+const dirMask = dirSize - 1
+
+// maxDirs bounds the root slice of the flat table (it is grown densely, so
+// a huge address would otherwise allocate a huge root). Pages whose
+// directory index is beyond the bound — addresses ≥ 2^(PageBits+dirBits+20),
+// which the library's dense allocator never produces — spill into a map.
+const maxDirs = 1 << 20
+
+// word is the shadow state of one address: the last writer plus the first
+// reader since that write, 8 pointer-free bytes. Keeping pages free of
+// pointers matters as much as the lookup structure: a page allocates in a
+// noscan span, so the garbage collector never walks shadow memory, and
+// first-touch zeroing clears 32KB instead of 128KB. The uncommon case of
+// several distinct readers between two writes spills to History.spill,
+// flagged by spillFlag in reader0.
 type word struct {
-	lastWriter  core.StrandID
-	reader0     core.StrandID
-	moreReaders []core.StrandID
+	lastWriter core.StrandID
+	reader0    core.StrandID
 }
+
+// spillFlag marks a word whose reader list continues in History.spill.
+// It occupies the top bit of reader0, which caps strand ids at 2^31-1 —
+// unreachable in practice (the engine allocates a few strands per parallel
+// construct and would exhaust memory long before).
+const spillFlag core.StrandID = 1 << 31
 
 type page [pageSize]word
 
+// directory is one node of the flat page table's second level.
+type directory [dirSize]*page
+
 // History is the access history for one detection run.
 type History struct {
-	pages map[uint64]*page
+	dirs     []*directory     // flat table root, indexed by pageNumber >> dirBits
+	overflow map[uint64]*page // pages beyond maxDirs directories
+
+	// spill holds the second-and-later distinct readers of words whose
+	// reader list outgrew the inline slot, keyed by address. Entries keep
+	// their capacity across flushes so a hot word does not reallocate.
+	spill map[uint64][]core.StrandID
+
+	// Last-page cache: valid whenever lastPage != nil.
+	lastPN   uint64
+	lastPage *page
+
+	// Memoized reachability verdict for (memoSrc ≺ memoCur) at construct
+	// generation memoGen. A single entry suffices: bulk accesses tend to
+	// revisit one predecessor strand for long runs of words.
+	memoGen uint64
+	memoCur core.StrandID
+	memoSrc core.StrandID
+	memoOK  bool
 
 	// Counters for the benchmark harness.
 	reads, writes uint64
 	readerAppends uint64
 	readerFlushes uint64
 	touchedPages  uint64
+	pageCacheHits uint64
+	ownedSkips    uint64
+	memoHits      uint64
 	touched       uint64 // Touch checksum; keeps the instr config honest
 }
 
 // NewHistory returns an empty access history.
 func NewHistory() *History {
-	return &History{pages: make(map[uint64]*page)}
+	return &History{}
+}
+
+// pageFor returns the page holding page number pn, materializing it on
+// first touch. The last resolved page is cached; sequential scans hit the
+// cache for all but the first word of each page.
+func (h *History) pageFor(pn uint64) *page {
+	if h.lastPage != nil && h.lastPN == pn {
+		h.pageCacheHits++
+		return h.lastPage
+	}
+	var p *page
+	if di := pn >> dirBits; di < maxDirs {
+		for uint64(len(h.dirs)) <= di {
+			h.dirs = append(h.dirs, nil)
+		}
+		d := h.dirs[di]
+		if d == nil {
+			d = new(directory)
+			h.dirs[di] = d
+		}
+		p = d[pn&dirMask]
+		if p == nil {
+			p = new(page)
+			d[pn&dirMask] = p
+			h.touchedPages++
+		}
+	} else {
+		if h.overflow == nil {
+			h.overflow = make(map[uint64]*page)
+		}
+		p = h.overflow[pn]
+		if p == nil {
+			p = new(page)
+			h.overflow[pn] = p
+			h.touchedPages++
+		}
+	}
+	h.lastPN, h.lastPage = pn, p
+	return p
 }
 
 func (h *History) wordFor(addr uint64) *word {
-	pn := addr >> PageBits
-	p := h.pages[pn]
-	if p == nil {
-		p = new(page)
-		h.pages[pn] = p
-		h.touchedPages++
-	}
-	return &p[addr&pageMask]
+	return &h.pageFor(addr >> PageBits)[addr&pageMask]
 }
 
 // Touch decodes addr into its page and slot indices without maintaining
@@ -64,6 +171,18 @@ func (h *History) wordFor(addr uint64) *word {
 // into a checksum so the compiler cannot elide the work.
 func (h *History) Touch(addr uint64) {
 	h.touched += (addr >> PageBits) ^ (addr & pageMask)
+}
+
+// TouchRange is the bulk form of Touch: it decodes words consecutive
+// addresses starting at addr into the checksum in one tight loop, without
+// a hook dispatch per word.
+func (h *History) TouchRange(addr uint64, words int) {
+	sum := h.touched
+	for ; words > 0; words-- {
+		sum += (addr >> PageBits) ^ (addr & pageMask)
+		addr++
+	}
+	h.touched = sum
 }
 
 // Racer is the pair of conflicting strands found by Read or Write.
@@ -79,6 +198,9 @@ type Racer struct {
 //
 // Protocol (§3): a read races iff it is logically parallel with the last
 // writer; otherwise the reader is appended to the reader list.
+//
+// Read and Write are the word-at-a-time reference protocol; the engine's
+// hot path is ReadRange/WriteRange, which must stay verdict-equivalent.
 func (h *History) Read(addr uint64, s core.StrandID, precedes func(u core.StrandID) bool) (Racer, bool) {
 	h.reads++
 	w := h.wordFor(addr)
@@ -87,17 +209,50 @@ func (h *History) Read(addr uint64, s core.StrandID, precedes func(u core.Strand
 	}
 	// Append s to the reader list, deduplicating the common case of the
 	// same strand re-reading the location between writes.
+	h.appendReader(w, addr, s)
+	return Racer{}, false
+}
+
+func (h *History) appendReader(w *word, addr uint64, s core.StrandID) {
 	switch {
 	case w.reader0 == core.NoStrand:
 		w.reader0 = s
 		h.readerAppends++
-	case w.reader0 == s:
-	case len(w.moreReaders) > 0 && w.moreReaders[len(w.moreReaders)-1] == s:
+	case w.reader0&^spillFlag == s:
 	default:
-		w.moreReaders = append(w.moreReaders, s)
-		h.readerAppends++
+		h.appendSpill(w, addr, s)
 	}
-	return Racer{}, false
+}
+
+// appendSpill records a second or later distinct reader of w's address.
+// The most recent spilled reader deduplicates repeats, bounding growth by
+// the number of reader alternations, as in the inline slot.
+func (h *History) appendSpill(w *word, addr uint64, s core.StrandID) {
+	if w.reader0&spillFlag != 0 {
+		if more := h.spill[addr]; more[len(more)-1] == s {
+			return // same strand re-reading; already recorded
+		}
+	} else {
+		w.reader0 |= spillFlag
+	}
+	if h.spill == nil {
+		h.spill = make(map[uint64][]core.StrandID)
+	}
+	h.spill[addr] = append(h.spill[addr], s)
+	h.readerAppends++
+}
+
+// flushReaders empties the reader list of w after a race-free write. The
+// spill entry keeps its capacity for the next spill on this word.
+func (h *History) flushReaders(w *word, addr uint64) {
+	if w.reader0 == core.NoStrand {
+		return
+	}
+	if w.reader0&spillFlag != 0 {
+		h.spill[addr] = h.spill[addr][:0]
+	}
+	w.reader0 = core.NoStrand
+	h.readerFlushes++
 }
 
 // Write processes a write of addr by strand s. It returns the first racing
@@ -112,21 +267,217 @@ func (h *History) Write(addr uint64, s core.StrandID, precedes func(u core.Stran
 	if w.lastWriter != core.NoStrand && w.lastWriter != s && !precedes(w.lastWriter) {
 		return Racer{Prev: w.lastWriter, PrevWrite: true}, true
 	}
-	if w.reader0 != core.NoStrand && w.reader0 != s && !precedes(w.reader0) {
-		return Racer{Prev: w.reader0, PrevWrite: false}, true
+	if r0 := w.reader0 &^ spillFlag; r0 != core.NoStrand && r0 != s && !precedes(r0) {
+		return Racer{Prev: r0, PrevWrite: false}, true
 	}
-	for _, r := range w.moreReaders {
-		if r != s && !precedes(r) {
-			return Racer{Prev: r, PrevWrite: false}, true
+	if w.reader0&spillFlag != 0 {
+		for _, r := range h.spill[addr] {
+			if r != s && !precedes(r) {
+				return Racer{Prev: r, PrevWrite: false}, true
+			}
 		}
 	}
-	if w.reader0 != core.NoStrand {
-		h.readerFlushes++
-	}
-	w.reader0 = core.NoStrand
-	w.moreReaders = w.moreReaders[:0]
+	h.flushReaders(w, addr)
 	w.lastWriter = s
 	return Racer{}, false
+}
+
+// Ctx bundles the per-run reachability context the engine threads through
+// the range operations: the reachability structure queried directly (no
+// per-query closure), the construct generation keying the verdict memo,
+// and the race sinks. The engine owns one Ctx per run and bumps Gen at
+// every parallel construct.
+type Ctx struct {
+	Reach core.Reach
+	Gen   uint64
+	// OnReadRace/OnWriteRace receive every racing word of a range with
+	// the racer the reference protocol would report and the accessing
+	// strand (so the engine does not track a current strand per access).
+	OnReadRace  func(addr uint64, r Racer, cur core.StrandID)
+	OnWriteRace func(addr uint64, r Racer, cur core.StrandID)
+}
+
+// precedes answers "u is sequentially before the current strand s" through
+// the single-entry verdict memo. ctx.Gen is the engine's construct
+// generation; (Gen, s) together pin a window during which the reachability
+// relation is immutable, so a memo hit is always safe.
+func (h *History) precedes(u, s core.StrandID, ctx *Ctx) bool {
+	if h.memoGen == ctx.Gen && h.memoCur == s && h.memoSrc == u {
+		h.memoHits++
+		return h.memoOK
+	}
+	ok := ctx.Reach.Precedes(u, s)
+	h.memoGen, h.memoCur, h.memoSrc, h.memoOK = ctx.Gen, s, u, ok
+	return ok
+}
+
+// ReadRange processes reads of words consecutive addresses starting at
+// addr by strand s, splitting at page boundaries so the page lookup runs
+// once per page segment. Every racing word is reported through report
+// (with the same racer the reference protocol would find); race-free words
+// update the reader lists.
+//
+// Fast path: a read of a word whose last writer is s itself is race-free
+// and skipped without touching the reader list. That loses no races: any
+// later access racing with this read also races with s's own earlier
+// write, which stays in the history and is checked first by both Read and
+// Write — so every verdict and every reported racer is unchanged.
+func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
+	if words <= 0 {
+		return
+	}
+	h.reads += uint64(words)
+	if words == 1 {
+		// One-word accesses (Array/Var Get) skip the segment machinery.
+		pn := addr >> PageBits
+		p := h.lastPage
+		if p != nil && h.lastPN == pn {
+			h.pageCacheHits++
+		} else {
+			p = h.pageFor(pn)
+		}
+		w := &p[addr&pageMask]
+		if w.lastWriter == s {
+			h.ownedSkips++ // epoch fast path: s reads its own last write
+		} else {
+			h.readWordSlow(w, addr, s, ctx)
+		}
+		return
+	}
+	for {
+		slot := int(addr & pageMask)
+		n := pageSize - slot
+		if n > words {
+			n = words
+		}
+		pn := addr >> PageBits
+		p := h.lastPage
+		if p != nil && h.lastPN == pn {
+			h.pageCacheHits++
+		} else {
+			p = h.pageFor(pn)
+		}
+		ws := p[slot : slot+n]
+		for i := range ws {
+			w := &ws[i]
+			if w.lastWriter == s {
+				h.ownedSkips++ // epoch fast path: s reads its own last write
+			} else {
+				h.readWordSlow(w, addr+uint64(i), s, ctx)
+			}
+		}
+		words -= n
+		if words == 0 {
+			return
+		}
+		addr += uint64(n)
+	}
+}
+
+// readWordSlow runs the read protocol for a word s does not own (the
+// owned-word fast path is inlined at the call sites).
+func (h *History) readWordSlow(w *word, addr uint64, s core.StrandID, ctx *Ctx) {
+	if w.lastWriter != core.NoStrand && !h.precedes(w.lastWriter, s, ctx) {
+		ctx.OnReadRace(addr, Racer{Prev: w.lastWriter, PrevWrite: true}, s)
+		return // racy read is not appended (reference protocol)
+	}
+	if w.reader0 == core.NoStrand {
+		w.reader0 = s
+		h.readerAppends++
+		return
+	}
+	if w.reader0&^spillFlag == s {
+		return // same strand re-reading between writes
+	}
+	h.appendSpill(w, addr, s)
+}
+
+// WriteRange processes writes of words consecutive addresses starting at
+// addr by strand s, with the same page-segment structure as ReadRange.
+//
+// Fast path: a write to a word s already owns (s is the last writer and no
+// readers intervened) is a no-op re-establishing the exact same state, so
+// the protocol is skipped entirely.
+func (h *History) WriteRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
+	if words <= 0 {
+		return
+	}
+	h.writes += uint64(words)
+	if words == 1 {
+		// One-word accesses (Array/Var Set) skip the segment machinery.
+		pn := addr >> PageBits
+		p := h.lastPage
+		if p != nil && h.lastPN == pn {
+			h.pageCacheHits++
+		} else {
+			p = h.pageFor(pn)
+		}
+		w := &p[addr&pageMask]
+		if w.reader0 == core.NoStrand && (w.lastWriter == s || w.lastWriter == core.NoStrand) {
+			// Epoch fast path: owner rewrite or first write to a fresh
+			// word with no readers — no protocol to run.
+			w.lastWriter = s
+			h.ownedSkips++
+		} else {
+			h.writeSlow(w, addr, s, ctx)
+		}
+		return
+	}
+	for {
+		slot := int(addr & pageMask)
+		n := pageSize - slot
+		if n > words {
+			n = words
+		}
+		pn := addr >> PageBits
+		p := h.lastPage
+		if p != nil && h.lastPN == pn {
+			h.pageCacheHits++
+		} else {
+			p = h.pageFor(pn)
+		}
+		ws := p[slot : slot+n]
+		for i := range ws {
+			w := &ws[i]
+			// Epoch fast path: with no readers to check, a rewrite by the
+			// owner or a first write to a fresh word runs no protocol —
+			// the reference would make zero queries and end in this exact
+			// state.
+			if w.reader0 == core.NoStrand && (w.lastWriter == s || w.lastWriter == core.NoStrand) {
+				w.lastWriter = s
+				h.ownedSkips++
+			} else {
+				h.writeSlow(w, addr+uint64(i), s, ctx)
+			}
+		}
+		words -= n
+		if words == 0 {
+			return
+		}
+		addr += uint64(n)
+	}
+}
+
+// writeSlow is the full write protocol for one word.
+func (h *History) writeSlow(w *word, addr uint64, s core.StrandID, ctx *Ctx) {
+	if w.lastWriter != core.NoStrand && w.lastWriter != s && !h.precedes(w.lastWriter, s, ctx) {
+		ctx.OnWriteRace(addr, Racer{Prev: w.lastWriter, PrevWrite: true}, s)
+		return
+	}
+	if r0 := w.reader0 &^ spillFlag; r0 != core.NoStrand && r0 != s && !h.precedes(r0, s, ctx) {
+		ctx.OnWriteRace(addr, Racer{Prev: r0, PrevWrite: false}, s)
+		return
+	}
+	if w.reader0&spillFlag != 0 {
+		for _, r := range h.spill[addr] {
+			if r != s && !h.precedes(r, s, ctx) {
+				ctx.OnWriteRace(addr, Racer{Prev: r, PrevWrite: false}, s)
+				return
+			}
+		}
+	}
+	h.flushReaders(w, addr)
+	w.lastWriter = s
 }
 
 // Stats describes access-history traffic.
@@ -135,6 +486,14 @@ type Stats struct {
 	ReaderAppends uint64
 	ReaderFlushes uint64
 	TouchedPages  uint64
+	// PageCacheHits counts page lookups resolved by the last-page cache.
+	PageCacheHits uint64
+	// OwnedSkips counts accesses short-circuited by the epoch-style
+	// ownership fast path (no protocol run, no reachability query).
+	OwnedSkips uint64
+	// MemoHits counts reachability queries answered by the memoized
+	// last-verdict cache instead of the reachability structure.
+	MemoHits uint64
 }
 
 // Stats returns the history's counters.
@@ -144,5 +503,8 @@ func (h *History) Stats() Stats {
 		ReaderAppends: h.readerAppends,
 		ReaderFlushes: h.readerFlushes,
 		TouchedPages:  h.touchedPages,
+		PageCacheHits: h.pageCacheHits,
+		OwnedSkips:    h.ownedSkips,
+		MemoHits:      h.memoHits,
 	}
 }

@@ -56,6 +56,10 @@ const (
 	MemFull  = detect.MemFull
 )
 
+// MaxViolations bounds the violations collected in a report; the overflow
+// is counted in Stats.TruncatedViolations.
+const MaxViolations = detect.MaxViolations
+
 // ErrFutureNotReady is wrapped into Report.Err when a Get runs before its
 // future completed under depth-first eager execution (the program is not
 // forward-pointing and could deadlock).

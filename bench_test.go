@@ -257,6 +257,39 @@ func BenchmarkAccessHistoryRange(b *testing.B) {
 	})
 }
 
+// BenchmarkAccessHistoryRangeWorkers measures the parallel range
+// pipeline: one large seqscan (bulk write + bulk read) per iteration,
+// fanned out across shadow worker pools of increasing width. workers=0 is
+// the serial fast path for comparison; on a single-CPU machine wider
+// pools only add fan-out overhead, while on multicore hardware the chunks
+// run concurrently (the reachability relation is immutable between
+// constructs, so the per-chunk Precedes queries are read-only).
+func BenchmarkAccessHistoryRangeWorkers(b *testing.B) {
+	const words = 1 << 20 // 256 shadow pages, ~8 MB of shadow state
+	arr := futurerd.NewArray[int64](words)
+	base := arr.Addr(0)
+	for _, workers := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("seqscan/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := futurerd.Detect(futurerd.Config{
+					Mode: futurerd.ModeMultiBags, Mem: futurerd.MemFull,
+					Workers: workers,
+				}, func(t *futurerd.Task) {
+					t.WriteRange(base, words)
+					t.ReadRange(base, words)
+				})
+				if rep.Racy() {
+					b.Fatal("unexpected race")
+				}
+				if workers > 1 && rep.Stats.Shadow.ParRanges == 0 {
+					b.Fatal("worker pool never engaged")
+				}
+			}
+			b.ReportMetric(float64(2*words), "words/op")
+		})
+	}
+}
+
 // BenchmarkParallelSpeedup measures the work-stealing scheduler against
 // sequential execution on the lcs wavefront, documenting that the same
 // programs the detector checks actually scale.

@@ -6,6 +6,7 @@
 //
 //	futurerd-bench [-table fig6|fig7|fig8|all] [-iters n]
 //	               [-size test|quick|bench] [-validate] [-json]
+//	               [-workers n]
 //
 // By default times are printed as aligned tables, in seconds, with
 // overheads relative to the baseline configuration; see EXPERIMENTS.md
@@ -28,19 +29,13 @@ import (
 	"futurerd/internal/workloads"
 )
 
-// jsonReport is the -json output document.
-type jsonReport struct {
-	Size         string              `json:"size"`
-	Iters        int                 `json:"iters"`
-	Measurements []bench.Measurement `json:"measurements"`
-}
-
 func main() {
 	table := flag.String("table", "all", "which table to run: fig6, fig7, fig8, all")
 	iters := flag.Int("iters", 3, "timed repetitions per configuration (minimum is reported)")
 	size := flag.String("size", "bench", "input scale: test, quick, bench")
 	validate := flag.Bool("validate", false, "re-validate outputs against sequential references")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	workers := flag.Int("workers", 0, "shadow range worker pool width for the detecting configs (<=1 serial)")
 	flag.Parse()
 
 	var sz workloads.SizeClass
@@ -55,14 +50,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -size %q\n", *size)
 		os.Exit(2)
 	}
-	opts := bench.Options{Iters: *iters, Size: sz, Validate: *validate}
+	opts := bench.Options{Iters: *iters, Size: sz, Validate: *validate, Workers: *workers}
 
 	type gen struct {
 		name string
 		run  func(bench.Options) (*bench.Table, []bench.Measurement, error)
 	}
 	gens := []gen{{"fig6", bench.Fig6}, {"fig7", bench.Fig7}, {"fig8", bench.Fig8}}
-	out := jsonReport{Size: *size, Iters: opts.Iters}
+	out := bench.JSONReport{Size: *size, Iters: opts.Iters, Workers: opts.Workers}
 	ran := false
 	for _, g := range gens {
 		if *table != "all" && *table != g.name {

@@ -1,0 +1,139 @@
+// Command futurerd-benchtrend compares two `futurerd-bench -json`
+// documents — a committed baseline and a freshly measured run — and fails
+// when the detector's deterministic execution counters drift.
+//
+// Wall-clock timings vary with the machine, so a timing-based gate on
+// shared CI runners is noise. The run counters are different: for a given
+// input size, code version and (serial) configuration, the number of
+// shadow accesses, ownership skips, memo hits, reachability queries and
+// races is exactly reproducible. Any unexplained change is a behavioral
+// regression — a fast path silently disabled, a protocol change leaking
+// extra queries, a race appearing — even when the timings look fine.
+// Intentional changes regenerate the baseline in the same commit:
+//
+//	go run ./cmd/futurerd-bench -json -size test -iters 1 > BENCH_baseline.json
+//
+// Usage:
+//
+//	futurerd-benchtrend -baseline BENCH_baseline.json -current BENCH_detect.json
+//	                    [-max-overhead-ratio r]
+//
+// With -max-overhead-ratio > 0 the tool additionally fails when a
+// configuration's overhead-vs-baseline grew by more than the given factor
+// (e.g. 1.5) — useful on quiet machines, off by default for CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"futurerd/internal/bench"
+)
+
+func load(path string) (*bench.JSONReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r bench.JSONReport
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// counterRow flattens the deterministic counters of one measurement.
+func counterRow(m *bench.Measurement) map[string]uint64 {
+	if m.Stats == nil {
+		return nil
+	}
+	s := m.Stats
+	return map[string]uint64{
+		"spawns":         s.Spawns,
+		"creates":        s.Creates,
+		"gets":           s.Gets,
+		"syncs":          s.Syncs,
+		"strands":        uint64(s.Strands),
+		"functions":      uint64(s.Functions),
+		"races":          s.RaceCount,
+		"reach.queries":  s.Reach.Queries,
+		"reach.finds":    s.Reach.Finds,
+		"reach.unions":   s.Reach.Unions,
+		"reach.attached": s.Reach.AttachedSets,
+		"reach.rarcs":    s.Reach.RArcs,
+		"shadow.reads":   s.Shadow.Reads,
+		"shadow.writes":  s.Shadow.Writes,
+		"shadow.appends": s.Shadow.ReaderAppends,
+		"shadow.flushes": s.Shadow.ReaderFlushes,
+		"shadow.pages":   s.Shadow.TouchedPages,
+		"shadow.owned":   s.Shadow.OwnedSkips,
+		"shadow.memo":    s.Shadow.MemoHits,
+	}
+}
+
+func key(m *bench.Measurement) string {
+	return m.Figure + "/" + m.Bench + "/" + m.Config
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline document")
+	curPath := flag.String("current", "BENCH_detect.json", "freshly measured document")
+	maxRatio := flag.Float64("max-overhead-ratio", 0, "fail if overhead grew by more than this factor (0 disables)")
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if base.Size != cur.Size || base.Workers != cur.Workers {
+		fmt.Fprintf(os.Stderr, "configuration mismatch: baseline size=%s workers=%d, current size=%s workers=%d\n",
+			base.Size, base.Workers, cur.Size, cur.Workers)
+		os.Exit(1)
+	}
+
+	baseBy := make(map[string]*bench.Measurement, len(base.Measurements))
+	for i := range base.Measurements {
+		baseBy[key(&base.Measurements[i])] = &base.Measurements[i]
+	}
+
+	fails, news, checked := 0, 0, 0
+	for i := range cur.Measurements {
+		cm := &cur.Measurements[i]
+		bm, ok := baseBy[key(cm)]
+		if !ok {
+			news++
+			fmt.Printf("NEW    %s (no baseline entry)\n", key(cm))
+			continue
+		}
+		cc, bc := counterRow(cm), counterRow(bm)
+		if cc == nil || bc == nil {
+			continue // baseline configs carry no stats
+		}
+		checked++
+		for name, want := range bc {
+			if got := cc[name]; got != want {
+				fails++
+				fmt.Printf("DRIFT  %s: %s = %d, baseline %d (%+d)\n",
+					key(cm), name, got, want, int64(got)-int64(want))
+			}
+		}
+		if *maxRatio > 0 && bm.Overhead > 0 && cm.Overhead > bm.Overhead**maxRatio {
+			fails++
+			fmt.Printf("SLOW   %s: overhead %.2fx, baseline %.2fx (> %.2f× growth)\n",
+				key(cm), cm.Overhead, bm.Overhead, *maxRatio)
+		}
+	}
+	fmt.Printf("benchtrend: %d configurations checked, %d new, %d failures\n", checked, news, fails)
+	if fails > 0 {
+		os.Exit(1)
+	}
+}

@@ -10,7 +10,8 @@
 //
 //	futurerd-trace -bench lcs [-variant structured|general]
 //	               [-mode multibags|multibags+|spbags|oracle]
-//	               [-size test|quick|bench] [-mem off|instr|full] [-dot]
+//	               [-size test|quick|bench] [-mem off|instr|full]
+//	               [-workers n] [-dot]
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	mode := flag.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle")
 	size := flag.String("size", "quick", "input scale: test, quick, bench")
 	mem := flag.String("mem", "full", "memory level: off, instr, full")
+	workers := flag.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
 	dot := flag.Bool("dot", false, "dump the computation dag as Graphviz (oracle mode)")
 	record := flag.String("record", "", "record the workload's event trace to this file instead of detecting")
 	replay := flag.String("replay", "", "detect a trace file recorded with -record instead of running a workload")
@@ -89,7 +91,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		rep, err = futurerd.ReplayTrace(f, futurerd.Config{Mode: m, Mem: ml})
+		rep, err = futurerd.ReplayTrace(f, futurerd.Config{Mode: m, Mem: ml, Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "replay failed: %v\n", err)
 			os.Exit(1)
@@ -116,7 +118,7 @@ func main() {
 	default:
 		w := mk()
 		ins = w
-		rep = futurerd.Detect(futurerd.Config{Mode: m, Mem: ml}, w.Run)
+		rep = futurerd.Detect(futurerd.Config{Mode: m, Mem: ml, Workers: *workers}, w.Run)
 	}
 	if rep.Err != nil {
 		fmt.Fprintf(os.Stderr, "engine error: %v\n", rep.Err)
@@ -139,6 +141,16 @@ func main() {
 	fmt.Printf("gets            %d\n", s.Gets)
 	fmt.Printf("syncs           %d\n", s.Syncs)
 	fmt.Printf("races           %d distinct addrs, %d reported\n", len(rep.Races), s.RaceCount)
+	if s.TruncatedRaces > 0 {
+		fmt.Printf("races truncated %d distinct addrs dropped (MaxRaces cap)\n", s.TruncatedRaces)
+	}
+	if s.DroppedPairs > 0 {
+		fmt.Printf("pairs deduped   %d further racing strand pairs at reported addrs\n", s.DroppedPairs)
+	}
+	if s.TruncatedViolations > 0 {
+		fmt.Printf("viol truncated  %d violations dropped (cap %d)\n",
+			s.TruncatedViolations, futurerd.MaxViolations)
+	}
 	fmt.Printf("reach queries   %d\n", s.Reach.Queries)
 	fmt.Printf("uf finds        %d\n", s.Reach.Finds)
 	fmt.Printf("uf unions       %d\n", s.Reach.Unions)
@@ -159,6 +171,10 @@ func main() {
 		fmt.Printf("page-cache hits %d\n", s.Shadow.PageCacheHits)
 		fmt.Printf("owned skips     %d\n", s.Shadow.OwnedSkips)
 		fmt.Printf("memo hits       %d\n", s.Shadow.MemoHits)
+		if s.Shadow.ParRanges > 0 {
+			fmt.Printf("par fan-outs    %d ranges, %d chunks\n",
+				s.Shadow.ParRanges, s.Shadow.ParChunks)
+		}
 	}
 	for _, r := range rep.Races {
 		fmt.Printf("  %s\n", r)

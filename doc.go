@@ -58,6 +58,19 @@
 // (Task.ReadRange/WriteRange, Matrix.ReadRow/WriteRow) for contiguous
 // data; they amortize hook dispatch and page lookup over the whole range.
 //
+// # Parallel range detection
+//
+// Config.Workers > 1 fans large bulk ranges out across a persistent
+// worker pool. Between parallel constructs the reachability relation is
+// immutable, so the per-word Precedes queries of one range are read-only
+// and chunks of the range can be checked concurrently: each worker keeps
+// its own page cache and verdict memo, union-find path compression is
+// CAS-based, and page materialization is striped by page number. Race
+// reports are identical, in content and order, to a serial run; Workers
+// <= 1 (the default) keeps every access on the exact serial path. The
+// pool engages for SP-Bags, MultiBags and MultiBags+; oracle and Verify
+// runs always stay serial. Config.WorkerChunk tunes the chunk granule.
+//
 // # Parallel execution
 //
 // The same program runs in parallel — without detection — on the bundled

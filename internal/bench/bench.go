@@ -26,6 +26,18 @@ import (
 	"futurerd/internal/workloads"
 )
 
+// JSONReport is the machine-readable document cmd/futurerd-bench -json
+// emits and cmd/futurerd-benchtrend consumes: one entry per (figure,
+// bench, configuration) cell. Timings are machine-dependent; the Stats
+// counters are deterministic for a given input size and code version,
+// which is what the trend check keys on.
+type JSONReport struct {
+	Size         string        `json:"size"`
+	Iters        int           `json:"iters"`
+	Workers      int           `json:"workers,omitempty"`
+	Measurements []Measurement `json:"measurements"`
+}
+
 // Measurement is one machine-readable timing cell: a (figure, bench,
 // configuration) triple with its wall time, overhead and run counters.
 // cmd/futurerd-bench -json emits these so a perf trajectory can be kept
@@ -54,6 +66,10 @@ type Options struct {
 	// Validate re-checks every run's output against the sequential
 	// reference (slower; default off for timing runs).
 	Validate bool
+	// Workers sets Config.Workers for the detecting configurations: bulk
+	// ranges fan out across a shadow worker pool of this width. <=1 keeps
+	// the serial path.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -112,13 +128,13 @@ func (t *Table) Render(w io.Writer) {
 
 // timeRun times one execution of ins under the given mode and memory
 // level, returning the wall time and the report (nil for baseline).
-func timeRun(ins workloads.Instance, mode futurerd.Mode, mem futurerd.MemLevel) (time.Duration, *futurerd.Report) {
+func timeRun(opts Options, ins workloads.Instance, mode futurerd.Mode, mem futurerd.MemLevel) (time.Duration, *futurerd.Report) {
 	start := time.Now()
 	if mode == futurerd.ModeNone {
 		futurerd.RunSeq(ins.Run)
 		return time.Since(start), nil
 	}
-	rep := futurerd.Detect(futurerd.Config{Mode: mode, Mem: mem}, ins.Run)
+	rep := futurerd.Detect(futurerd.Config{Mode: mode, Mem: mem, Workers: opts.Workers}, ins.Run)
 	return time.Since(start), rep
 }
 
@@ -127,7 +143,7 @@ func measure(opts Options, ins workloads.Instance, mode futurerd.Mode, mem futur
 	best := time.Duration(math.MaxInt64)
 	var rep *futurerd.Report
 	for i := 0; i < opts.Iters; i++ {
-		d, r := timeRun(ins, mode, mem)
+		d, r := timeRun(opts, ins, mode, mem)
 		if d < best {
 			best, rep = d, r
 		}

@@ -1,6 +1,10 @@
 package core
 
-import "futurerd/internal/ds"
+import (
+	"sync/atomic"
+
+	"futurerd/internal/ds"
+)
 
 // Bag tags. A function instance's bag is either an S-bag (its strands are
 // sequentially before the currently executing strand) or a P-bag (they are
@@ -91,12 +95,17 @@ func (m *MultiBags) join(parent, child FnID) {
 }
 
 // Precedes implements Reach (Figure 1, Query): u ≺ v iff u's function is
-// currently in an S-bag.
+// currently in an S-bag. Safe for concurrent use between constructs: the
+// union-find read uses CAS-compressed FindRO, the tag array is only
+// written at constructs, and the query counter is atomic.
 func (m *MultiBags) Precedes(u, _ StrandID) bool {
-	m.queries++
-	root := m.uf.Find(uint32(m.st.FnOf(u)))
+	atomic.AddUint64(&m.queries, 1)
+	root := m.uf.FindRO(uint32(m.st.FnOf(u)))
 	return m.tag[root] == tagS
 }
+
+// ConcurrentPrecedesSafe implements QueryConcurrent.
+func (m *MultiBags) ConcurrentPrecedesSafe() bool { return true }
 
 // Stats implements Reach.
 func (m *MultiBags) Stats() ReachStats {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"futurerd/internal/ds"
 )
@@ -255,19 +256,24 @@ func (m *MultiBagsPlus) SyncJoin(r JoinRec) {
 // Precedes implements Reach (Figure 3): u ≺ v in Gfull iff either DSP says
 // u's function is in an S-bag, or the (possibly proxied) attached sets of
 // u and v are ordered in R.
+//
+// Safe for concurrent use between constructs: both disjoint-set reads go
+// through CAS-compressed FindRO, the per-strand payload arrays and R's
+// transitive closure are only written at constructs, and the counters are
+// atomic.
 func (m *MultiBagsPlus) Precedes(u, v StrandID) bool {
-	m.queries++
+	atomic.AddUint64(&m.queries, 1)
 	if m.dsp.Precedes(u, v) { // lines 1–2
 		return true
 	}
-	rv := m.nsp.Find(uint32(v))
+	rv := m.nsp.FindRO(uint32(v))
 	sv := m.att[rv]
 	vProxied := false
 	if sv == noRNode { // lines 4–5
 		sv = m.attPred[rv]
 		vProxied = true
 	}
-	ru := m.nsp.Find(uint32(u))
+	ru := m.nsp.FindRO(uint32(u))
 	su := m.att[ru]
 	uProxied := false
 	if su == noRNode { // lines 7–9
@@ -286,6 +292,9 @@ func (m *MultiBagsPlus) Precedes(u, v StrandID) bool {
 	}
 	return m.r.reaches(su, sv) // line 10
 }
+
+// ConcurrentPrecedesSafe implements QueryConcurrent.
+func (m *MultiBagsPlus) ConcurrentPrecedesSafe() bool { return true }
 
 // Stats implements Reach.
 func (m *MultiBagsPlus) Stats() ReachStats {

@@ -1,6 +1,10 @@
 package core
 
-import "futurerd/internal/ds"
+import (
+	"sync/atomic"
+
+	"futurerd/internal/ds"
+)
 
 // SPBags is the classic SP-Bags algorithm (Feng & Leiserson 1997) for
 // series-parallel (fork-join only) programs. It is included as the
@@ -125,13 +129,18 @@ func (m *SPBags) foldP(f FnID) {
 	m.pElem[f] = noElem
 }
 
-// Precedes implements Reach.
+// Precedes implements Reach. Safe for concurrent use between constructs
+// (CAS-compressed find, atomic counter, tag/anchor arrays written only at
+// constructs).
 func (m *SPBags) Precedes(u, _ StrandID) bool {
-	m.queries++
+	atomic.AddUint64(&m.queries, 1)
 	f := m.st.FnOf(u)
-	root := m.uf.Find(m.anchor[f])
+	root := m.uf.FindRO(m.anchor[f])
 	return m.tag[root] == tagS
 }
+
+// ConcurrentPrecedesSafe implements QueryConcurrent.
+func (m *SPBags) ConcurrentPrecedesSafe() bool { return true }
 
 // Stats implements Reach.
 func (m *SPBags) Stats() ReachStats {

@@ -119,6 +119,21 @@ type Reach interface {
 	Stats() ReachStats
 }
 
+// QueryConcurrent is the optional capability interface for Reach
+// implementations whose Precedes is safe to call from multiple goroutines
+// at once, provided no construct event (Spawn, CreateFut, Return,
+// SyncJoin, GetFut) runs concurrently. Between parallel constructs the
+// reachability relation is immutable, so implementations qualify by
+// making their query path read-only up to atomic bookkeeping: CAS-based
+// union-find path compression and atomic stat counters. The detection
+// engine only fans range detection out across workers when its Reach
+// advertises this capability; otherwise ranges stay on the serial path.
+type QueryConcurrent interface {
+	// ConcurrentPrecedesSafe reports whether concurrent Precedes calls
+	// are safe between constructs.
+	ConcurrentPrecedesSafe() bool
+}
+
 // ReachStats aggregates data-structure traffic for reporting.
 type ReachStats struct {
 	Finds         uint64 // union-find Find operations

@@ -3,6 +3,7 @@ package detect
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"futurerd/internal/core"
 	"futurerd/internal/graph"
@@ -15,6 +16,12 @@ import (
 // futures), so detection stops at that point, as in the paper.
 var ErrFutureNotReady = errors.New("get_fut on a future that has not completed; " +
 	"the program is not forward-pointing and could deadlock")
+
+// errMemFullNeedsMode is wrapped into Report.Err when full memory
+// detection is requested with detection disabled: there is no reachability
+// algorithm to decide races against.
+var errMemFullNeedsMode = errors.New(
+	"Config.Mem=MemFull requires a detection mode (use MemInstr for instrumentation-only runs)")
 
 // engineFailure carries an engine error through panic/recover without
 // masking genuine panics from user code.
@@ -43,13 +50,30 @@ type Engine struct {
 	// under.
 	sctx shadow.Ctx
 
+	// pool, when non-nil, is the shadow worker pool bulk ranges fan out
+	// across (Config.Workers > 1 and a concurrent-query-safe algorithm).
+	pool *shadow.Pool
+
 	labels map[core.FnID]string
 
+	// The race sink. raceMu guards it so reports may arrive from any
+	// goroutine; today the parallel range path buffers per worker and
+	// delivers on the engine goroutine, so the lock is uncontended, but
+	// the dedupe state must stay correct if a future caller reports
+	// concurrently. raceSeen maps a racy address to the signature of the
+	// recorded strand pair so observations of a different pair at the
+	// same address can be counted (droppedPairs) instead of silently
+	// vanishing.
+	raceMu     sync.Mutex
 	races      []Race
-	raceSeen   map[uint64]struct{}
+	raceSeen   map[uint64]uint64
 	raceCount  uint64
 	maxRaces   int
+	truncRaces uint64
+	dropPairs  uint64
+
 	violations []Violation
+	dropViol   uint64
 
 	spawns, creates, gets, syncs uint64
 	err                          error
@@ -67,6 +91,22 @@ func NewEngine(cfg Config) *Engine {
 		e.maxRaces = DefaultMaxRaces
 	}
 	if !e.detecting {
+		switch cfg.Mem {
+		case MemFull:
+			// Full detection needs a reachability algorithm to query;
+			// reject cleanly instead of nil-panicking on the first access.
+			e.err = fmt.Errorf("detect: %w", errMemFullNeedsMode)
+		case MemInstr:
+			// Instrumentation-only is meaningful without detection (it
+			// measures pure hook overhead); it needs the history for its
+			// checksum state. The worker pool applies here too, so the
+			// instrumentation baseline stays comparable to detecting runs
+			// configured with the same Workers.
+			e.hist = shadow.NewHistory()
+			if cfg.Workers > 1 {
+				e.pool = shadow.NewPool(cfg.Workers, cfg.WorkerChunk)
+			}
+		}
 		return e
 	}
 	e.st = core.NewStrandTable(1024)
@@ -95,7 +135,16 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Mem != MemOff {
 		e.hist = shadow.NewHistory()
 	}
-	e.raceSeen = make(map[uint64]struct{})
+	if cfg.Workers > 1 && cfg.Mem != MemOff {
+		// The pool only engages when every Precedes the workers can make
+		// is safe to run concurrently between constructs. MemInstr makes
+		// no queries, so any mode qualifies there.
+		qc, ok := e.reach.(core.QueryConcurrent)
+		if cfg.Mem == MemInstr || (ok && qc.ConcurrentPrecedesSafe()) {
+			e.pool = shadow.NewPool(cfg.Workers, cfg.WorkerChunk)
+		}
+	}
+	e.raceSeen = make(map[uint64]uint64)
 	e.sctx.Reach = e.reach
 	e.sctx.OnReadRace = func(addr uint64, r shadow.Racer, cur core.StrandID) {
 		e.reportRace(addr, r.Prev, cur, r.PrevWrite, false)
@@ -108,7 +157,16 @@ func NewEngine(cfg Config) *Engine {
 
 // Run executes root under the engine and returns the report.
 func (e *Engine) Run(root func(*Task)) *Report {
+	if e.err != nil {
+		// The configuration was rejected at construction; do not run user
+		// code under hooks that cannot work.
+		return e.report()
+	}
 	t := &Task{ex: e}
+	// Release the range workers on every exit path, including a genuine
+	// user panic that the recover below re-raises (Close is idempotent
+	// and nil-safe; report() also closes for the error-config path).
+	defer e.pool.Close()
 	if e.detecting {
 		t.fn = e.newFn()
 		t.strand = e.newStrand(t.fn)
@@ -131,6 +189,7 @@ func (e *Engine) Run(root func(*Task)) *Report {
 }
 
 func (e *Engine) report() *Report {
+	e.pool.Close() // release the range workers (nil-safe)
 	if v, ok := e.reach.(*verifyReach); ok {
 		if mbp, ok := v.algo.(*core.MultiBagsPlus); ok {
 			for _, s := range mbp.Violations {
@@ -146,7 +205,9 @@ func (e *Engine) report() *Report {
 	}
 	rep.Stats = Stats{
 		Spawns: e.spawns, Creates: e.creates, Gets: e.gets, Syncs: e.syncs,
-		RaceCount: e.raceCount,
+		RaceCount:      e.raceCount,
+		TruncatedRaces: e.truncRaces, DroppedPairs: e.dropPairs,
+		TruncatedViolations: e.dropViol,
 	}
 	if e.detecting {
 		rep.Stats.Strands = e.st.Len()
@@ -316,40 +377,78 @@ func (e *Engine) GetFut(t *Task, h *Fut) any {
 	return h.val
 }
 
+// MaxViolations bounds the violations collected in a report; the overflow
+// is counted in Stats.TruncatedViolations instead of vanishing.
+const MaxViolations = 256
+
 func (e *Engine) violate(kind, detail string) {
-	if len(e.violations) < 256 {
+	if len(e.violations) < MaxViolations {
 		e.violations = append(e.violations, Violation{Kind: kind, Detail: detail})
+		return
 	}
+	e.dropViol++
 }
 
 // Read implements Executor. The whole range is handed to the shadow layer
 // in one call: the page lookup, current strand and race plumbing are
 // resolved once per range, not once per word. MemFull is tested first —
-// it is the only level with per-access work worth branching for.
+// it is the only level with per-access work worth branching for. With a
+// worker pool configured, large ranges fan out across it; everything else
+// takes the serial fast path.
 func (e *Engine) Read(t *Task, addr uint64, words int) {
 	if e.mem == MemFull {
-		e.hist.ReadRange(addr, words, t.strand, &e.sctx)
+		if e.pool != nil {
+			e.hist.ReadRangePar(addr, words, t.strand, &e.sctx, e.pool)
+		} else {
+			e.hist.ReadRange(addr, words, t.strand, &e.sctx)
+		}
 	} else if e.mem == MemInstr {
-		e.hist.TouchRange(addr, words)
+		e.hist.TouchRangePar(addr, words, e.pool)
 	}
 }
 
 // Write implements Executor.
 func (e *Engine) Write(t *Task, addr uint64, words int) {
 	if e.mem == MemFull {
-		e.hist.WriteRange(addr, words, t.strand, &e.sctx)
+		if e.pool != nil {
+			e.hist.WriteRangePar(addr, words, t.strand, &e.sctx, e.pool)
+		} else {
+			e.hist.WriteRange(addr, words, t.strand, &e.sctx)
+		}
 	} else if e.mem == MemInstr {
-		e.hist.TouchRange(addr, words)
+		e.hist.TouchRangePar(addr, words, e.pool)
 	}
 }
 
+// pairSig condenses a race's identity beyond its address — the strand
+// pair and access kinds — for the per-address dedupe bookkeeping.
+func pairSig(prev, cur core.StrandID, prevWrite, curWrite bool) uint64 {
+	// Strand ids are capped at 2^31-1 (the shadow layer's spill flag), so
+	// the top bit of each half carries the access kind.
+	sig := uint64(prev)<<32 | uint64(cur)
+	if prevWrite {
+		sig |= 1 << 63
+	}
+	if curWrite {
+		sig |= 1 << 31
+	}
+	return sig
+}
+
 func (e *Engine) reportRace(addr uint64, prev, cur core.StrandID, prevWrite, curWrite bool) {
+	e.raceMu.Lock()
+	defer e.raceMu.Unlock()
 	e.raceCount++
-	if _, seen := e.raceSeen[addr]; seen {
+	sig := pairSig(prev, cur, prevWrite, curWrite)
+	if seen, ok := e.raceSeen[addr]; ok {
+		if seen != sig {
+			e.dropPairs++
+		}
 		return
 	}
-	e.raceSeen[addr] = struct{}{}
+	e.raceSeen[addr] = sig
 	if len(e.races) >= e.maxRaces {
+		e.truncRaces++
 		return
 	}
 	r := Race{

@@ -1,0 +1,274 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestConfigMatrixNoPanic is the mem × mode regression for the
+// instrumentation-only crash: every combination must either run cleanly
+// or reject with a clean Report.Err — never panic. ModeNone+MemFull is
+// the rejected combination (full detection has no algorithm to query);
+// ModeNone+MemInstr must run and keep its instrumentation counters.
+func TestConfigMatrixNoPanic(t *testing.T) {
+	prog := func(t *Task) {
+		t.Spawn(func(c *Task) { c.Write(7); c.WriteRange(100, 50) })
+		t.Sync()
+		t.Read(7)
+		t.ReadRange(100, 50)
+	}
+	modes := []Mode{ModeNone, ModeSPBags, ModeMultiBags, ModeMultiBagsPlus, ModeOracle}
+	mems := []MemLevel{MemOff, MemInstr, MemFull}
+	for _, mode := range modes {
+		for _, mem := range mems {
+			t.Run(fmt.Sprintf("%v_%v", mode, mem), func(t *testing.T) {
+				rep := NewEngine(Config{Mode: mode, Mem: mem}).Run(prog)
+				if mode == ModeNone && mem == MemFull {
+					if !errors.Is(rep.Err, errMemFullNeedsMode) {
+						t.Fatalf("ModeNone+MemFull: Err = %v, want clean rejection", rep.Err)
+					}
+					return
+				}
+				if rep.Err != nil {
+					t.Fatalf("unexpected error: %v", rep.Err)
+				}
+				if rep.Racy() {
+					t.Fatalf("clean program raced: %v", rep.Races)
+				}
+			})
+		}
+	}
+}
+
+// TestInstrumentationOnlyBaseline pins the ModeNone+MemInstr behavior the
+// bench harness relies on: hooks fire and decode, nothing else.
+func TestInstrumentationOnlyBaseline(t *testing.T) {
+	rep := NewEngine(Config{Mode: ModeNone, Mem: MemInstr}).Run(func(t *Task) {
+		t.WriteRange(1, 100)
+		t.ReadRange(1, 100)
+	})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Stats.Shadow.TouchedPages != 0 {
+		t.Fatal("instrumentation-only run materialized shadow pages")
+	}
+}
+
+// TestPostRaceNoCascade is the regression for the quadratic re-reporting
+// bug: a racing write must install itself, so later accesses by the same
+// strand resolve on the ownership fast path instead of re-racing against
+// the stale writer.
+func TestPostRaceNoCascade(t *testing.T) {
+	const passes = 5
+	rep := NewEngine(Config{Mode: ModeMultiBags, Mem: MemFull}).Run(func(t *Task) {
+		h := t.CreateFut(func(ft *Task) any { ft.Write(42); return nil })
+		for i := 0; i < passes; i++ {
+			t.Write(42) // parallel with the future's write: races once
+		}
+		t.GetFut(h)
+	})
+	if got := rep.Stats.RaceCount; got != 1 {
+		t.Fatalf("RaceCount = %d, want 1 (post-race cascade re-reported)", got)
+	}
+}
+
+// TestPostRaceNoCascadeRange is the bulk-range version: a racy seqscan
+// repeated p times must report each word once, not p times (quadratic in
+// the number of passes before the fix).
+func TestPostRaceNoCascadeRange(t *testing.T) {
+	const n = 200
+	const passes = 4
+	rep := NewEngine(Config{Mode: ModeMultiBags, Mem: MemFull, MaxRaces: 2 * n}).
+		Run(func(t *Task) {
+			h := t.CreateFut(func(ft *Task) any { ft.WriteRange(1, n); return nil })
+			for p := 0; p < passes; p++ {
+				t.WriteRange(1, n)
+			}
+			t.GetFut(h)
+		})
+	if got := rep.Stats.RaceCount; got != n {
+		t.Fatalf("RaceCount = %d, want %d (one per word, independent of passes)", got, n)
+	}
+	if len(rep.Races) != n {
+		t.Fatalf("len(Races) = %d, want %d", len(rep.Races), n)
+	}
+}
+
+// TestTruncationCounters checks that capped races and violations are
+// counted instead of silently dropped, and that distinct racing pairs
+// hidden by the per-address dedupe are surfaced.
+func TestTruncationCounters(t *testing.T) {
+	const n = 30
+	rep := NewEngine(Config{Mode: ModeMultiBags, Mem: MemFull, MaxRaces: 10}).
+		Run(func(t *Task) {
+			h := t.CreateFut(func(ft *Task) any { ft.WriteRange(1, n); return nil })
+			t.ReadRange(1, n) // races on every word; 10 recorded, 20 truncated
+			t.GetFut(h)
+		})
+	if len(rep.Races) != 10 {
+		t.Fatalf("len(Races) = %d, want 10", len(rep.Races))
+	}
+	if got := rep.Stats.TruncatedRaces; got != n-10 {
+		t.Fatalf("TruncatedRaces = %d, want %d", got, n-10)
+	}
+
+	// Distinct pair at an already-reported address: two parallel readers,
+	// then a writer racing with the first reader; a second writer races
+	// with the installed first writer — different pair, same address.
+	rep = NewEngine(Config{Mode: ModeMultiBags, Mem: MemFull}).Run(func(t *Task) {
+		a := t.CreateFut(func(ft *Task) any { ft.Write(5); return nil })
+		t.GetFut(a) // joined before b exists: the two writes are ordered
+		b := t.CreateFut(func(ft *Task) any { ft.Write(5); return nil })
+		t.GetFut(b)
+		t.Write(5) // ordered after both: no race
+	})
+	if rep.Stats.DroppedPairs != 0 || rep.Racy() {
+		t.Fatalf("ordered writes produced drops/races: %+v", rep.Stats)
+	}
+	rep = NewEngine(Config{Mode: ModeMultiBags, Mem: MemFull}).Run(func(t *Task) {
+		a := t.CreateFut(func(ft *Task) any { ft.Write(5); return nil })
+		t.Write(5) // races with a's write (pair 1) and installs itself
+		b := t.CreateFut(func(ft *Task) any { ft.Write(5); return nil })
+		t.Write(5) // b is unjoined: races with b's write (pair 2, same address)
+		t.GetFut(a)
+		t.GetFut(b)
+	})
+	if got := rep.Stats.DroppedPairs; got != 1 {
+		t.Fatalf("DroppedPairs = %d, want 1 (distinct pair at a deduped address)", got)
+	}
+	if got := rep.Stats.RaceCount; got != 2 {
+		t.Fatalf("RaceCount = %d, want 2", got)
+	}
+}
+
+// parallelProg builds a program with bulk cross-strand traffic: racy and
+// race-free ranges big enough to fan out with a small worker chunk.
+func parallelProg(n int) func(*Task) {
+	return func(t *Task) {
+		h := t.CreateFut(func(ft *Task) any {
+			ft.WriteRange(1, n)
+			return nil
+		})
+		t.ReadRange(1, n) // parallel with the future: races everywhere
+		t.GetFut(h)
+		t.ReadRange(1, n) // ordered after the get: race free
+		t.Spawn(func(c *Task) { c.WriteRange(uint64(n+1), n) })
+		t.WriteRange(uint64(n+1), n) // parallel with the child: races
+		t.Sync()
+		t.WriteRange(uint64(n+1), n) // owned rewrite after join
+	}
+}
+
+// TestWorkersVerdictEquivalence runs the same program serially and with
+// worker pools of several widths; the reports must agree on every race,
+// in content and order, and on the deterministic protocol counters.
+func TestWorkersVerdictEquivalence(t *testing.T) {
+	const n = 5000
+	for _, mode := range []Mode{ModeSPBags, ModeMultiBags, ModeMultiBagsPlus} {
+		serial := NewEngine(Config{Mode: mode, Mem: MemFull, MaxRaces: 3 * n}).
+			Run(parallelProg(n))
+		if serial.Err != nil {
+			t.Fatal(serial.Err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("%v_w%d", mode, workers), func(t *testing.T) {
+				par := NewEngine(Config{
+					Mode: mode, Mem: MemFull, MaxRaces: 3 * n,
+					Workers: workers, WorkerChunk: 512,
+				}).Run(parallelProg(n))
+				if par.Err != nil {
+					t.Fatal(par.Err)
+				}
+				if par.Stats.Shadow.ParRanges == 0 {
+					t.Fatal("worker pool never engaged")
+				}
+				if len(par.Races) != len(serial.Races) ||
+					par.Stats.RaceCount != serial.Stats.RaceCount {
+					t.Fatalf("race totals diverge: serial %d/%d, workers=%d %d/%d",
+						len(serial.Races), serial.Stats.RaceCount,
+						workers, len(par.Races), par.Stats.RaceCount)
+				}
+				for i := range serial.Races {
+					if serial.Races[i] != par.Races[i] {
+						t.Fatalf("race %d differs: serial %v, parallel %v",
+							i, serial.Races[i], par.Races[i])
+					}
+				}
+				ss, ps := serial.Stats.Shadow, par.Stats.Shadow
+				if ss.Reads != ps.Reads || ss.Writes != ps.Writes ||
+					ss.OwnedSkips != ps.OwnedSkips ||
+					ss.ReaderAppends != ps.ReaderAppends ||
+					ss.ReaderFlushes != ps.ReaderFlushes {
+					t.Fatalf("protocol counters diverge:\nserial %+v\npar    %+v", ss, ps)
+				}
+			})
+		}
+	}
+}
+
+// TestWorkersSerialPathUntouched: Workers<=1 must not construct a pool,
+// and unsupported configurations (oracle, Verify) must stay serial even
+// when Workers asks for more.
+func TestWorkersSerialPathUntouched(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: ModeMultiBags, Mem: MemFull, Workers: 1},
+		{Mode: ModeMultiBags, Mem: MemFull, Workers: 0},
+		{Mode: ModeOracle, Mem: MemFull, Workers: 8},
+		{Mode: ModeMultiBagsPlus, Mem: MemFull, Workers: 8, Verify: true},
+	} {
+		rep := NewEngine(cfg).Run(parallelProg(2000))
+		if rep.Err != nil {
+			t.Fatalf("%+v: %v", cfg, rep.Err)
+		}
+		if rep.Stats.Shadow.ParRanges != 0 {
+			t.Fatalf("%+v fanned out; want serial", cfg)
+		}
+	}
+}
+
+// TestWorkersInstrumentationLevel: the pool also serves MemInstr (pure
+// checksum traffic), where any mode qualifies — including ModeNone, so
+// the instrumentation baseline stays comparable to detecting runs with
+// the same Workers setting.
+func TestWorkersInstrumentationLevel(t *testing.T) {
+	for _, mode := range []Mode{ModeMultiBags, ModeNone} {
+		par := NewEngine(Config{Mode: mode, Mem: MemInstr, Workers: 4}).
+			Run(func(t *Task) { t.WriteRange(1, 1<<15) })
+		if par.Err != nil {
+			t.Fatalf("%v: %v", mode, par.Err)
+		}
+		if par.Stats.Shadow.ParRanges == 0 {
+			t.Fatalf("%v: MemInstr pool never engaged", mode)
+		}
+	}
+	// Checksum equality with the serial path is pinned in the shadow tests.
+}
+
+// TestPoolReleasedOnUserPanic: a panic in user code must not leak the
+// worker goroutines (Run defers the pool close before re-panicking).
+func TestPoolReleasedOnUserPanic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		func() {
+			defer func() { _ = recover() }()
+			NewEngine(Config{Mode: ModeMultiBags, Mem: MemFull, Workers: 8}).
+				Run(func(t *Task) {
+					t.WriteRange(1, 1<<15) // engage the pool first
+					panic("user bug")
+				})
+		}()
+	}
+	// Workers exit asynchronously after the channel close; give them a
+	// moment before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines grew from %d to %d: pool leaked on panic", before, g)
+	}
+}

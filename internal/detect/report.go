@@ -80,6 +80,23 @@ type Config struct {
 	Mode Mode
 	Mem  MemLevel
 
+	// Workers sets the width of the shadow range-detection worker pool:
+	// bulk ReadRange/WriteRange/TouchRange accesses above a chunk
+	// threshold are split into chunks processed concurrently, exploiting
+	// the fact that the reachability relation is immutable between
+	// parallel constructs. Workers <= 1 keeps every access on the exact
+	// serial path. The pool only engages when Mem is MemFull or MemInstr
+	// and the selected algorithm supports concurrent queries (SP-Bags,
+	// MultiBags, MultiBags+); the oracle and Verify runs stay serial.
+	// Race reports are identical, in content and order, to a serial run.
+	Workers int
+
+	// WorkerChunk overrides the words-per-chunk granule of the parallel
+	// range path (0 means the shadow layer's default). Ranges shorter
+	// than two chunks stay serial. Exposed for tuning and for tests that
+	// need to exercise the fan-out on small ranges.
+	WorkerChunk int
+
 	// MaxRaces caps the number of distinct races collected in the report
 	// (detection continues and keeps counting). 0 means DefaultMaxRaces.
 	MaxRaces int
@@ -149,6 +166,19 @@ type Stats struct {
 	Syncs     uint64
 
 	RaceCount uint64 // total race observations, including deduplicated ones
+
+	// TruncatedRaces counts distinct racy addresses dropped from Races
+	// because the MaxRaces cap was already reached; RaceCount still
+	// includes them. Zero means Races is complete per-address.
+	TruncatedRaces uint64
+	// DroppedPairs counts race observations at an already-reported
+	// address whose racing strand pair differs from the recorded one —
+	// distinct pairs the per-address dedupe hides. Zero means every
+	// observed pair is represented.
+	DroppedPairs uint64
+	// TruncatedViolations counts violations dropped beyond the report's
+	// violation cap.
+	TruncatedViolations uint64
 
 	Reach  core.ReachStats
 	Shadow shadow.Stats

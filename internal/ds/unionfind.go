@@ -3,6 +3,8 @@
 // bit vectors used for the transitive closure of the attached-set DAG.
 package ds
 
+import "sync/atomic"
+
 // UnionFind is a disjoint-set forest over dense uint32 element ids with
 // union by rank and path compression (Tarjan 1975). All operations run in
 // amortized O(α(m,n)) time, the bound the paper's Theorems 4.1 and 5.1
@@ -95,6 +97,38 @@ func (u *UnionFind) Union(a, b uint32) uint32 {
 		u.rank[ra]++
 	}
 	return ra
+}
+
+// FindRO returns the canonical representative of the set containing x
+// without requiring exclusive access: it is safe to call from any number
+// of goroutines concurrently, provided no Union or MakeSet runs at the
+// same time (the detection engine guarantees this — the reachability
+// relation only mutates at parallel constructs, and the shadow worker
+// pool is quiescent across them).
+//
+// The read path uses atomic loads; path compression is done by halving
+// with compare-and-swap, so concurrent finds can still shorten paths
+// without losing updates. Each CAS repoints parent[x] from its parent to
+// its grandparent — both members of the same set — so any interleaving
+// preserves the partition, and the amortized bound is the same as the
+// serial two-pass compression (Tarjan & van Leeuwen 1984, one-pass
+// halving variant).
+func (u *UnionFind) FindRO(x uint32) uint32 {
+	atomic.AddUint64(&u.finds, 1)
+	for {
+		p := atomic.LoadUint32(&u.parent[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadUint32(&u.parent[p])
+		if gp == p {
+			return p
+		}
+		// Halve: repoint x past its parent. A lost race just means another
+		// find compressed first; either way progress is made via x = gp.
+		atomic.CompareAndSwapUint32(&u.parent[x], p, gp)
+		x = gp
+	}
 }
 
 // SameSet reports whether a and b are currently in the same set.

@@ -30,12 +30,52 @@ func fuzzOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, stmts
 	}
 }
 
+// parallelOne asserts the verdict-set equivalence of the worker-pool
+// range path against the serial engine on one generated program: same
+// races (content and order — the parallel path delivers events in chunk
+// order, which is address order), same observation count, same protocol
+// counters. The tiny WorkerChunk forces even progen's short ranges to
+// fan out across real workers.
+func parallelOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, stmts int) {
+	t.Helper()
+	p := Generate(seed, Options{Dialect: dialect, MaxStmts: stmts})
+	serial := detect.NewEngine(detect.Config{
+		Mode: mode, Mem: detect.MemFull, MaxRaces: 1 << 20,
+	}).Run(p.Run)
+	par := detect.NewEngine(detect.Config{
+		Mode: mode, Mem: detect.MemFull, MaxRaces: 1 << 20,
+		Workers: 3, WorkerChunk: 4,
+	}).Run(p.Run)
+	if serial.Err != nil || par.Err != nil {
+		t.Fatalf("seed %d: serial err %v, parallel err %v\n%s", seed, serial.Err, par.Err, p)
+	}
+	if serial.Stats.RaceCount != par.Stats.RaceCount ||
+		len(serial.Races) != len(par.Races) {
+		t.Fatalf("seed %d: verdicts diverge: serial %d races (%d observations), parallel %d (%d)\n%s",
+			seed, len(serial.Races), serial.Stats.RaceCount,
+			len(par.Races), par.Stats.RaceCount, p)
+	}
+	for i := range serial.Races {
+		if serial.Races[i] != par.Races[i] {
+			t.Fatalf("seed %d: race %d differs: serial %v, parallel %v\n%s",
+				seed, i, serial.Races[i], par.Races[i], p)
+		}
+	}
+	ss, ps := serial.Stats.Shadow, par.Stats.Shadow
+	if ss.Reads != ps.Reads || ss.Writes != ps.Writes ||
+		ss.OwnedSkips != ps.OwnedSkips || ss.ReaderAppends != ps.ReaderAppends ||
+		ss.ReaderFlushes != ps.ReaderFlushes {
+		t.Fatalf("seed %d: shadow counters diverge\nserial %+v\npar    %+v\n%s", seed, ss, ps, p)
+	}
+}
+
 func FuzzGeneralPrograms(f *testing.F) {
 	for _, s := range []uint64{0, 1, 7, 42, 1 << 20, 0xdeadbeef} {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		fuzzOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
+		parallelOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
 	})
 }
 
@@ -46,5 +86,16 @@ func FuzzStructuredPrograms(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		fuzzOne(t, seed, Structured, detect.ModeMultiBags, 60)
 		fuzzOne(t, seed, Structured, detect.ModeMultiBagsPlus, 60)
+		parallelOne(t, seed, Structured, detect.ModeMultiBags, 60)
 	})
+}
+
+// TestParallelMatchesSerialSeeds sweeps the parallel differential over a
+// seed range so plain `go test` (and `go test -race`) covers many
+// programs without the fuzzer.
+func TestParallelMatchesSerialSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		parallelOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
+		parallelOne(t, seed, Structured, detect.ModeMultiBags, 60)
+	}
 }

@@ -71,6 +71,7 @@ const (
 type Stmt struct {
 	Op   Op
 	Loc  int    // OpRead/OpWrite: location in [0, NumLocs)
+	Len  int    // OpRead/OpWrite: words accessed (1 = single word)
 	Fut  int    // OpCreate/OpGet: future index
 	Body *Block // OpSpawn/OpCreate
 }
@@ -176,12 +177,22 @@ func (g *generator) genBlockExp(depth int, isRoot bool) (*Block, []int) {
 }
 
 func (g *generator) genStmt(depth int, fr *frame) Stmt {
+	// accessLen picks the width of a read/write: mostly single words, with
+	// a tail of bulk ranges so the engine's range paths (and, in the
+	// parallel differential tests, the worker fan-out) see real traffic.
+	// Ranges deliberately overlap the single-word locations.
+	accessLen := func() int {
+		if g.rng.IntN(4) != 0 {
+			return 1
+		}
+		return 2 + g.rng.IntN(3*g.opts.Locs)
+	}
 	for {
 		switch g.rng.IntN(20) {
 		case 0, 1, 2, 3, 4, 5, 6: // read
-			return Stmt{Op: OpRead, Loc: g.rng.IntN(g.opts.Locs)}
+			return Stmt{Op: OpRead, Loc: g.rng.IntN(g.opts.Locs), Len: accessLen()}
 		case 7, 8, 9, 10, 11: // write
-			return Stmt{Op: OpWrite, Loc: g.rng.IntN(g.opts.Locs)}
+			return Stmt{Op: OpWrite, Loc: g.rng.IntN(g.opts.Locs), Len: accessLen()}
 		case 12, 13, 14: // spawn
 			if depth >= g.opts.MaxDepth || g.budget < 2 {
 				continue
@@ -241,9 +252,17 @@ func runBlock(b *Block, t *detect.Task, env []*detect.Fut) {
 		s := &b.Stmts[i]
 		switch s.Op {
 		case OpRead:
-			t.Read(uint64(s.Loc) + 1)
+			if s.Len > 1 {
+				t.ReadRange(uint64(s.Loc)+1, s.Len)
+			} else {
+				t.Read(uint64(s.Loc) + 1)
+			}
 		case OpWrite:
-			t.Write(uint64(s.Loc) + 1)
+			if s.Len > 1 {
+				t.WriteRange(uint64(s.Loc)+1, s.Len)
+			} else {
+				t.Write(uint64(s.Loc) + 1)
+			}
 		case OpSpawn:
 			body := s.Body
 			t.Spawn(func(c *detect.Task) { runBlock(body, c, env) })
@@ -299,9 +318,17 @@ func (p *Program) String() string {
 			s := &blk.Stmts[i]
 			switch s.Op {
 			case OpRead:
-				fmt.Fprintf(&b, "%sread  x%d\n", ind, s.Loc)
+				if s.Len > 1 {
+					fmt.Fprintf(&b, "%sread  x%d..x%d\n", ind, s.Loc, s.Loc+s.Len-1)
+				} else {
+					fmt.Fprintf(&b, "%sread  x%d\n", ind, s.Loc)
+				}
 			case OpWrite:
-				fmt.Fprintf(&b, "%swrite x%d\n", ind, s.Loc)
+				if s.Len > 1 {
+					fmt.Fprintf(&b, "%swrite x%d..x%d\n", ind, s.Loc, s.Loc+s.Len-1)
+				} else {
+					fmt.Fprintf(&b, "%swrite x%d\n", ind, s.Loc)
+				}
 			case OpSpawn:
 				fmt.Fprintf(&b, "%sspawn {\n", ind)
 				walk(s.Body, ind+"  ")

@@ -37,9 +37,23 @@
 // race if and only if the word-at-a-time reference protocol (Read/Write
 // below) does, with the same racing strand — see the differential fuzz
 // test FuzzRangeMatchesReference.
+//
+// # Parallel ranges
+//
+// Large bulk accesses can additionally fan out across a persistent worker
+// pool (parallel.go): the reachability relation is immutable between
+// parallel constructs, so the per-word Precedes queries of one range are
+// read-only and chunks of the range can run concurrently. The fan-out is
+// verdict-preserving too, down to the order of reported events; the same
+// fuzz test drives it.
 package shadow
 
-import "futurerd/internal/core"
+import (
+	"sync"
+	"sync/atomic"
+
+	"futurerd/internal/core"
+)
 
 // PageBits sets the page size: 2^PageBits words per page.
 const PageBits = 12
@@ -80,8 +94,17 @@ const spillFlag core.StrandID = 1 << 31
 
 type page [pageSize]word
 
-// directory is one node of the flat page table's second level.
-type directory [dirSize]*page
+// directory is one node of the flat page table's second level. Entries are
+// atomic pointers so the parallel range path can materialize pages while
+// sibling workers read neighboring entries; on the serial path an atomic
+// load costs the same as a plain one.
+type directory [dirSize]atomic.Pointer[page]
+
+// pageStripes is the number of stripe locks guarding concurrent page
+// materialization on the parallel range path. Stripes are selected by page
+// number, so two workers only contend when their pages collide mod the
+// stripe count — and then only on each page's first touch.
+const pageStripes = 64
 
 // History is the access history for one detection run.
 type History struct {
@@ -92,6 +115,14 @@ type History struct {
 	// reader list outgrew the inline slot, keyed by address. Entries keep
 	// their capacity across flushes so a hot word does not reallocate.
 	spill map[uint64][]core.StrandID
+
+	// spillMu guards spill on the parallel range path; the serial path
+	// accesses the map directly (the worker pool is quiescent then).
+	spillMu sync.Mutex
+
+	// stripes guards page materialization on the parallel range path,
+	// selected by page number (see pageForShared).
+	stripes [pageStripes]sync.Mutex
 
 	// Last-page cache: valid whenever lastPage != nil.
 	lastPN   uint64
@@ -105,7 +136,10 @@ type History struct {
 	memoSrc core.StrandID
 	memoOK  bool
 
-	// Counters for the benchmark harness.
+	// Counters for the benchmark harness. touchedPages is incremented
+	// atomically on the parallel path (workers materialize their own
+	// pages); everything else is either serial or aggregated from
+	// worker-local counters after each fan-out.
 	reads, writes uint64
 	readerAppends uint64
 	readerFlushes uint64
@@ -113,6 +147,8 @@ type History struct {
 	pageCacheHits uint64
 	ownedSkips    uint64
 	memoHits      uint64
+	parRanges     uint64 // range ops that actually fanned out
+	parChunks     uint64 // chunks processed across all fan-outs
 	touched       uint64 // Touch checksum; keeps the instr config honest
 }
 
@@ -139,10 +175,10 @@ func (h *History) pageFor(pn uint64) *page {
 			d = new(directory)
 			h.dirs[di] = d
 		}
-		p = d[pn&dirMask]
+		p = d[pn&dirMask].Load()
 		if p == nil {
 			p = new(page)
-			d[pn&dirMask] = p
+			d[pn&dirMask].Store(p)
 			h.touchedPages++
 		}
 	} else {
@@ -261,25 +297,44 @@ func (h *History) flushReaders(w *word, addr uint64) {
 // becomes the last writer; the paper shows this loses no races because
 // anything parallel with a flushed reader that runs later is also parallel
 // with s.
+//
+// A racing write also installs itself (readers flushed, s becomes the
+// last writer) after the race is reported. Leaving the old state in place
+// would make every later access of the address re-race against the same
+// stale writer, so one logical race would re-report on each subsequent
+// access — quadratic RaceCount growth on a racy scan. Installing trades
+// that cascade for the standard post-race imprecision every shadow-state
+// detector accepts once a location has raced: detection continues as if
+// the racing write were ordinary.
 func (h *History) Write(addr uint64, s core.StrandID, precedes func(u core.StrandID) bool) (Racer, bool) {
 	h.writes++
 	w := h.wordFor(addr)
-	if w.lastWriter != core.NoStrand && w.lastWriter != s && !precedes(w.lastWriter) {
-		return Racer{Prev: w.lastWriter, PrevWrite: true}, true
+	if prev := w.lastWriter; prev != core.NoStrand && prev != s && !precedes(prev) {
+		h.installWriter(w, addr, s)
+		return Racer{Prev: prev, PrevWrite: true}, true
 	}
 	if r0 := w.reader0 &^ spillFlag; r0 != core.NoStrand && r0 != s && !precedes(r0) {
+		h.installWriter(w, addr, s)
 		return Racer{Prev: r0, PrevWrite: false}, true
 	}
 	if w.reader0&spillFlag != 0 {
 		for _, r := range h.spill[addr] {
 			if r != s && !precedes(r) {
+				h.installWriter(w, addr, s)
 				return Racer{Prev: r, PrevWrite: false}, true
 			}
 		}
 	}
+	h.installWriter(w, addr, s)
+	return Racer{}, false
+}
+
+// installWriter completes a write: the reader list is flushed and s
+// becomes the last writer. Called for race-free and racing writes alike
+// (see Write).
+func (h *History) installWriter(w *word, addr uint64, s core.StrandID) {
 	h.flushReaders(w, addr)
 	w.lastWriter = s
-	return Racer{}, false
 }
 
 // Ctx bundles the per-run reachability context the engine threads through
@@ -458,26 +513,30 @@ func (h *History) WriteRange(addr uint64, words int, s core.StrandID, ctx *Ctx) 
 	}
 }
 
-// writeSlow is the full write protocol for one word.
+// writeSlow is the full write protocol for one word. Like the reference
+// Write, a racing write installs itself after reporting so one logical
+// race cannot re-report on every later access of the address.
 func (h *History) writeSlow(w *word, addr uint64, s core.StrandID, ctx *Ctx) {
-	if w.lastWriter != core.NoStrand && w.lastWriter != s && !h.precedes(w.lastWriter, s, ctx) {
-		ctx.OnWriteRace(addr, Racer{Prev: w.lastWriter, PrevWrite: true}, s)
+	if prev := w.lastWriter; prev != core.NoStrand && prev != s && !h.precedes(prev, s, ctx) {
+		h.installWriter(w, addr, s)
+		ctx.OnWriteRace(addr, Racer{Prev: prev, PrevWrite: true}, s)
 		return
 	}
 	if r0 := w.reader0 &^ spillFlag; r0 != core.NoStrand && r0 != s && !h.precedes(r0, s, ctx) {
+		h.installWriter(w, addr, s)
 		ctx.OnWriteRace(addr, Racer{Prev: r0, PrevWrite: false}, s)
 		return
 	}
 	if w.reader0&spillFlag != 0 {
 		for _, r := range h.spill[addr] {
 			if r != s && !h.precedes(r, s, ctx) {
+				h.installWriter(w, addr, s)
 				ctx.OnWriteRace(addr, Racer{Prev: r, PrevWrite: false}, s)
 				return
 			}
 		}
 	}
-	h.flushReaders(w, addr)
-	w.lastWriter = s
+	h.installWriter(w, addr, s)
 }
 
 // Stats describes access-history traffic.
@@ -494,6 +553,10 @@ type Stats struct {
 	// MemoHits counts reachability queries answered by the memoized
 	// last-verdict cache instead of the reachability structure.
 	MemoHits uint64
+	// ParRanges counts range operations that fanned out across the worker
+	// pool; ParChunks counts the chunks processed across all fan-outs.
+	ParRanges uint64
+	ParChunks uint64
 }
 
 // Stats returns the history's counters.
@@ -506,5 +569,7 @@ func (h *History) Stats() Stats {
 		PageCacheHits: h.pageCacheHits,
 		OwnedSkips:    h.ownedSkips,
 		MemoHits:      h.memoHits,
+		ParRanges:     h.parRanges,
+		ParChunks:     h.parChunks,
 	}
 }

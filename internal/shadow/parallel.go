@@ -1,0 +1,483 @@
+// Parallel range detection: ReadRange/WriteRange/TouchRange fanned out
+// across a persistent worker pool.
+//
+// The enabling observation is the same one behind the verdict memo:
+// between parallel constructs the reachability relation is immutable
+// (Ctx.Gen keys on exactly that), so every Precedes query made inside one
+// range access is logically read-only. A bulk range can therefore be
+// split into chunks processed by concurrent workers, provided
+//
+//   - the reachability structure advertises core.QueryConcurrent (its
+//     query path is read-only up to CAS path compression and atomic
+//     counters — the engine enforces this before enabling the pool);
+//   - page materialization is safe under concurrency: directory entries
+//     are atomic pointers and creation is serialized by stripe locks
+//     keyed on the page number (pageForShared), while the coordinator
+//     pre-ensures the directory level and overflow pages serially;
+//   - the rare multi-reader spill map is guarded by a mutex on this path;
+//   - each worker keeps its own last-page cache, (Gen, strand) verdict
+//     memo and stat counters, so the hot loop shares nothing.
+//
+// Chunks partition the range, so every shadow word is touched by exactly
+// one worker per operation; two workers may share a page (distinct slots)
+// but never a word. Race events are buffered per chunk and delivered to
+// the Ctx sinks by the coordinator after the join, in chunk order — which
+// is address order — so the event stream is byte-for-byte the one the
+// serial path produces. The differential fuzz test drives the parallel
+// path against the word-at-a-time reference to prove exactly that.
+package shadow
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"futurerd/internal/core"
+)
+
+// DefaultChunkWords is the default chunk granule of the parallel range
+// path. Ranges shorter than two chunks stay on the serial path: the
+// fan-out costs a channel round-trip per chunk, which only amortizes over
+// thousands of words.
+const DefaultChunkWords = 2 * pageSize
+
+// Pool is a persistent worker pool for parallel range detection. One pool
+// serves one detection run (engines are single-use); the goroutines park
+// on a channel between operations, so each fan-out costs channel sends,
+// not goroutine creation. Close releases the workers.
+type Pool struct {
+	workers int
+	chunk   int
+	tasks   chan *chunkJob
+	once    sync.Once
+}
+
+// NewPool starts a pool of the given total width (the coordinating
+// goroutine participates, so workers-1 goroutines are spawned).
+// chunkWords sets the chunk granule; <=0 means DefaultChunkWords. Returns
+// nil if workers < 2 — the serial path needs no pool.
+func NewPool(workers, chunkWords int) *Pool {
+	if workers < 2 {
+		return nil
+	}
+	if chunkWords <= 0 {
+		chunkWords = DefaultChunkWords
+	}
+	p := &Pool{
+		workers: workers,
+		chunk:   chunkWords,
+		// Buffer one fan-out's worth of jobs so the coordinator never
+		// blocks on the send loop.
+		tasks: make(chan *chunkJob, 4*workers),
+	}
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for j := range p.tasks {
+				j.run()
+				j.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's total width (including the coordinator).
+func (p *Pool) Workers() int { return p.workers }
+
+// Close releases the pool's goroutines. Safe to call more than once; the
+// pool must be quiescent (no operation in flight).
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.tasks) })
+}
+
+// Chunk ops.
+const (
+	opRead = iota
+	opWrite
+	opTouch
+)
+
+// parEvent is one buffered race report of a chunk. The access kind needs
+// no tag: a chunk belongs to exactly one range operation, so all of its
+// events are reads or all are writes, and the caller picks the sink.
+type parEvent struct {
+	addr  uint64
+	racer Racer
+}
+
+// chunkJob is one unit of fan-out work: a sub-range of one bulk access.
+type chunkJob struct {
+	cs   chunkState
+	op   int
+	addr uint64
+	n    int
+	done *sync.WaitGroup
+}
+
+func (j *chunkJob) run() {
+	switch j.op {
+	case opRead:
+		j.cs.readRange(j.addr, j.n)
+	case opWrite:
+		j.cs.writeRange(j.addr, j.n)
+	case opTouch:
+		j.cs.touchRange(j.addr, j.n)
+	}
+}
+
+// chunkState is the worker-local state of one chunk: its own last-page
+// cache, verdict memo and counters, so the per-word loop touches no
+// shared memory except the (disjoint) shadow words themselves.
+type chunkState struct {
+	h   *History
+	ctx *Ctx
+	s   core.StrandID
+
+	lastPN   uint64
+	lastPage *page
+
+	// Verdict memo. Gen and the current strand are fixed for the whole
+	// operation, so the key degenerates to the predecessor strand.
+	memoValid bool
+	memoSrc   core.StrandID
+	memoOK    bool
+
+	events []parEvent
+
+	// Worker-local counters, folded into the History after the join.
+	reads, writes uint64
+	readerAppends uint64
+	readerFlushes uint64
+	pageCacheHits uint64
+	ownedSkips    uint64
+	memoHits      uint64
+	touched       uint64
+}
+
+func (c *chunkState) precedes(u core.StrandID) bool {
+	if c.memoValid && c.memoSrc == u {
+		c.memoHits++
+		return c.memoOK
+	}
+	ok := c.ctx.Reach.Precedes(u, c.s)
+	c.memoValid, c.memoSrc, c.memoOK = true, u, ok
+	return ok
+}
+
+func (c *chunkState) pageAt(pn uint64) *page {
+	if c.lastPage != nil && c.lastPN == pn {
+		c.pageCacheHits++
+		return c.lastPage
+	}
+	p := c.h.pageForShared(pn)
+	c.lastPN, c.lastPage = pn, p
+	return p
+}
+
+// readRange is the per-chunk mirror of History.ReadRange's segment loop.
+func (c *chunkState) readRange(addr uint64, words int) {
+	c.reads += uint64(words)
+	for {
+		slot := int(addr & pageMask)
+		n := pageSize - slot
+		if n > words {
+			n = words
+		}
+		ws := c.pageAt(addr >> PageBits)[slot : slot+n]
+		for i := range ws {
+			w := &ws[i]
+			if w.lastWriter == c.s {
+				c.ownedSkips++ // epoch fast path: s reads its own last write
+			} else {
+				c.readWordSlow(w, addr+uint64(i))
+			}
+		}
+		words -= n
+		if words == 0 {
+			return
+		}
+		addr += uint64(n)
+	}
+}
+
+// readWordSlow mirrors History.readWordSlow with worker-local memo and
+// counters and a locked spill path.
+func (c *chunkState) readWordSlow(w *word, addr uint64) {
+	if w.lastWriter != core.NoStrand && !c.precedes(w.lastWriter) {
+		c.events = append(c.events, parEvent{addr, Racer{Prev: w.lastWriter, PrevWrite: true}})
+		return // racy read is not appended (reference protocol)
+	}
+	if w.reader0 == core.NoStrand {
+		w.reader0 = c.s
+		c.readerAppends++
+		return
+	}
+	if w.reader0&^spillFlag == c.s {
+		return // same strand re-reading between writes
+	}
+	c.appendSpill(w, addr)
+}
+
+// appendSpill mirrors History.appendSpill under the spill mutex. The
+// inline word is worker-exclusive; only the shared map needs the lock.
+func (c *chunkState) appendSpill(w *word, addr uint64) {
+	h := c.h
+	h.spillMu.Lock()
+	if w.reader0&spillFlag != 0 {
+		if more := h.spill[addr]; more[len(more)-1] == c.s {
+			h.spillMu.Unlock()
+			return // same strand re-reading; already recorded
+		}
+	} else {
+		w.reader0 |= spillFlag
+	}
+	if h.spill == nil {
+		h.spill = make(map[uint64][]core.StrandID)
+	}
+	h.spill[addr] = append(h.spill[addr], c.s)
+	h.spillMu.Unlock()
+	c.readerAppends++
+}
+
+// writeRange is the per-chunk mirror of History.WriteRange's segment loop.
+func (c *chunkState) writeRange(addr uint64, words int) {
+	c.writes += uint64(words)
+	for {
+		slot := int(addr & pageMask)
+		n := pageSize - slot
+		if n > words {
+			n = words
+		}
+		ws := c.pageAt(addr >> PageBits)[slot : slot+n]
+		for i := range ws {
+			w := &ws[i]
+			if w.reader0 == core.NoStrand && (w.lastWriter == c.s || w.lastWriter == core.NoStrand) {
+				w.lastWriter = c.s
+				c.ownedSkips++
+			} else {
+				c.writeSlow(w, addr+uint64(i))
+			}
+		}
+		words -= n
+		if words == 0 {
+			return
+		}
+		addr += uint64(n)
+	}
+}
+
+// writeSlow mirrors History.writeSlow, including the post-race install.
+func (c *chunkState) writeSlow(w *word, addr uint64) {
+	if prev := w.lastWriter; prev != core.NoStrand && prev != c.s && !c.precedes(prev) {
+		c.installWriter(w, addr)
+		c.events = append(c.events, parEvent{addr, Racer{Prev: prev, PrevWrite: true}})
+		return
+	}
+	if r0 := w.reader0 &^ spillFlag; r0 != core.NoStrand && r0 != c.s && !c.precedes(r0) {
+		c.installWriter(w, addr)
+		c.events = append(c.events, parEvent{addr, Racer{Prev: r0, PrevWrite: false}})
+		return
+	}
+	if w.reader0&spillFlag != 0 {
+		c.h.spillMu.Lock()
+		readers := c.h.spill[addr] // this key is only mutated by this worker
+		c.h.spillMu.Unlock()
+		for _, r := range readers {
+			if r != c.s && !c.precedes(r) {
+				c.installWriter(w, addr)
+				c.events = append(c.events, parEvent{addr, Racer{Prev: r, PrevWrite: false}})
+				return
+			}
+		}
+	}
+	c.installWriter(w, addr)
+}
+
+// installWriter mirrors History.installWriter with a locked spill flush.
+func (c *chunkState) installWriter(w *word, addr uint64) {
+	if w.reader0 != core.NoStrand {
+		if w.reader0&spillFlag != 0 {
+			c.h.spillMu.Lock()
+			c.h.spill[addr] = c.h.spill[addr][:0]
+			c.h.spillMu.Unlock()
+		}
+		w.reader0 = core.NoStrand
+		c.readerFlushes++
+	}
+	w.lastWriter = c.s
+}
+
+// touchRange is the per-chunk mirror of TouchRange: a pure checksum, so
+// chunk sums add up to the serial result.
+func (c *chunkState) touchRange(addr uint64, words int) {
+	var sum uint64
+	for ; words > 0; words-- {
+		sum += (addr >> PageBits) ^ (addr & pageMask)
+		addr++
+	}
+	c.touched = sum
+}
+
+// pageForShared returns the page holding pn on the parallel path,
+// materializing it under a stripe lock on first touch. The directory node
+// itself is guaranteed to exist (ensureShared ran before the fan-out).
+func (h *History) pageForShared(pn uint64) *page {
+	if di := pn >> dirBits; di < maxDirs {
+		e := &h.dirs[di][pn&dirMask]
+		if p := e.Load(); p != nil {
+			return p
+		}
+		mu := &h.stripes[pn%pageStripes]
+		mu.Lock()
+		p := e.Load()
+		if p == nil {
+			p = new(page)
+			e.Store(p)
+			atomic.AddUint64(&h.touchedPages, 1)
+		}
+		mu.Unlock()
+		return p
+	}
+	// Overflow pages were pre-created by ensureShared; the map is
+	// read-only during the fan-out.
+	return h.overflow[pn]
+}
+
+// ensureShared prepares the page table for a concurrent fan-out over
+// [addr, addr+words): the directory level is grown and populated and any
+// overflow pages are materialized, both serially, so workers only ever
+// create pages inside existing directories.
+func (h *History) ensureShared(addr uint64, words int) {
+	first := addr >> PageBits
+	last := (addr + uint64(words) - 1) >> PageBits
+	for di := first >> dirBits; di <= last>>dirBits && di < maxDirs; di++ {
+		for uint64(len(h.dirs)) <= di {
+			h.dirs = append(h.dirs, nil)
+		}
+		if h.dirs[di] == nil {
+			h.dirs[di] = new(directory)
+		}
+	}
+	if last>>dirBits >= maxDirs {
+		for pn := first; pn <= last; pn++ {
+			if pn>>dirBits >= maxDirs {
+				h.pageFor(pn)
+			}
+		}
+	}
+	// The shared last-page cache is not maintained by workers; drop it so
+	// a later serial access cannot see a stale mapping (it cannot today —
+	// pages are never replaced — but the invalidation is cheap and keeps
+	// the invariant local).
+	h.lastPage = nil
+}
+
+// fanOut splits [addr, addr+words) into pool-chunk-sized jobs, runs them
+// across the pool with the coordinator participating, folds the
+// worker-local counters back into h, and returns the jobs so the caller
+// can drain the buffered race events in chunk (= address) order.
+func (h *History) fanOut(op int, addr uint64, words int, s core.StrandID, ctx *Ctx, p *Pool) []chunkJob {
+	nchunks := (words + p.chunk - 1) / p.chunk
+	jobs := make([]chunkJob, nchunks)
+	var done sync.WaitGroup
+	done.Add(nchunks)
+	a, left := addr, words
+	for i := range jobs {
+		n := p.chunk
+		if n > left {
+			n = left
+		}
+		jobs[i] = chunkJob{
+			cs:   chunkState{h: h, ctx: ctx, s: s},
+			op:   op,
+			addr: a,
+			n:    n,
+			done: &done,
+		}
+		a += uint64(n)
+		left -= n
+	}
+	// The coordinator is a full member of the pool: it offers each job to
+	// the channel but runs it inline when the workers are saturated, then
+	// keeps draining until the queue is dry. On a single-CPU machine this
+	// degrades to the serial loop plus channel overhead rather than idle
+	// blocking.
+	for i := range jobs {
+		select {
+		case p.tasks <- &jobs[i]:
+		default:
+			jobs[i].run()
+			done.Done()
+		}
+	}
+	for {
+		select {
+		case j := <-p.tasks:
+			j.run()
+			j.done.Done()
+			continue
+		default:
+		}
+		break
+	}
+	done.Wait()
+	h.parRanges++
+	h.parChunks += uint64(nchunks)
+	for i := range jobs {
+		cs := &jobs[i].cs
+		h.reads += cs.reads
+		h.writes += cs.writes
+		h.readerAppends += cs.readerAppends
+		h.readerFlushes += cs.readerFlushes
+		h.pageCacheHits += cs.pageCacheHits
+		h.ownedSkips += cs.ownedSkips
+		h.memoHits += cs.memoHits
+		h.touched += cs.touched
+	}
+	return jobs
+}
+
+// ReadRangePar is ReadRange fanned out across pool p. Ranges below the
+// fan-out threshold (or a nil pool) take the exact serial path. The race
+// events delivered to ctx are identical, in content and order, to the
+// serial path's.
+func (h *History) ReadRangePar(addr uint64, words int, s core.StrandID, ctx *Ctx, p *Pool) {
+	if p == nil || words < 2*p.chunk {
+		h.ReadRange(addr, words, s, ctx)
+		return
+	}
+	h.ensureShared(addr, words)
+	jobs := h.fanOut(opRead, addr, words, s, ctx, p)
+	for i := range jobs {
+		for _, ev := range jobs[i].cs.events {
+			ctx.OnReadRace(ev.addr, ev.racer, s)
+		}
+	}
+}
+
+// WriteRangePar is WriteRange fanned out across pool p; see ReadRangePar.
+func (h *History) WriteRangePar(addr uint64, words int, s core.StrandID, ctx *Ctx, p *Pool) {
+	if p == nil || words < 2*p.chunk {
+		h.WriteRange(addr, words, s, ctx)
+		return
+	}
+	h.ensureShared(addr, words)
+	jobs := h.fanOut(opWrite, addr, words, s, ctx, p)
+	for i := range jobs {
+		for _, ev := range jobs[i].cs.events {
+			ctx.OnWriteRace(ev.addr, ev.racer, s)
+		}
+	}
+}
+
+// TouchRangePar is TouchRange fanned out across pool p. The checksum is a
+// sum of per-word terms, so chunk sums reassociate to the serial result.
+func (h *History) TouchRangePar(addr uint64, words int, p *Pool) {
+	if p == nil || words < 2*p.chunk {
+		h.TouchRange(addr, words)
+		return
+	}
+	h.fanOut(opTouch, addr, words, core.NoStrand, nil, p)
+}

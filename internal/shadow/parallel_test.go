@@ -1,0 +1,229 @@
+package shadow
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"futurerd/internal/core"
+)
+
+// TestPageForSharedContention hammers the striped materialization path:
+// many goroutines resolve overlapping page sets concurrently; every
+// requester must get the same page instance per page number and the
+// touched-page counter must count each page exactly once.
+func TestPageForSharedContention(t *testing.T) {
+	const (
+		goroutines = 8
+		pages      = 512
+	)
+	h := NewHistory()
+	h.ensureShared(0, pages*pageSize)
+	got := make([][]*page, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := make([]*page, pages)
+			// Different goroutines walk in different strides so lock
+			// stripes are hit in varied orders.
+			for i := 0; i < pages; i++ {
+				pn := uint64((i*(g+1) + g) % pages)
+				mine[pn] = h.pageForShared(pn)
+			}
+			for i := 0; i < pages; i++ {
+				pn := uint64(i)
+				if mine[pn] == nil {
+					mine[pn] = h.pageForShared(pn)
+				}
+			}
+			got[g] = mine
+		}(g)
+	}
+	wg.Wait()
+	for pn := 0; pn < pages; pn++ {
+		want := got[0][pn]
+		if want == nil {
+			t.Fatalf("page %d never materialized", pn)
+		}
+		for g := 1; g < goroutines; g++ {
+			if got[g][pn] != want {
+				t.Fatalf("page %d: goroutine %d saw a different instance", pn, g)
+			}
+		}
+	}
+	if tp := h.Stats().TouchedPages; tp != pages {
+		t.Fatalf("TouchedPages = %d, want %d (each page counted once)", tp, pages)
+	}
+	// The serial path must observe the same pages afterwards.
+	for pn := 0; pn < pages; pn++ {
+		if h.pageFor(uint64(pn)) != got[0][pn] {
+			t.Fatalf("serial pageFor(%d) disagrees with shared path", pn)
+		}
+	}
+}
+
+// TestParallelLargeRangeMatchesSerial runs a multi-page, multi-strand
+// scenario through the default-chunk parallel path and the serial path
+// and requires identical events and stats.
+func TestParallelLargeRangeMatchesSerial(t *testing.T) {
+	const words = 6*pageSize + 123                         // several chunks at the default granule
+	base := uint64(pageSize - 57)                          // misaligned start
+	rel := func(u, v core.StrandID) bool { return u == 1 } // only strand 1 precedes others
+
+	serial, par := NewHistory(), NewHistory()
+	pool := NewPool(4, 0)
+	defer pool.Close()
+	var serialRaces, parRaces []raceEvent
+	sctx := ctxFor(rel, &serialRaces)
+	pctx := ctxFor(rel, &parRaces)
+
+	// Strand 1 writes everything; strand 2 reads it (ordered, race free);
+	// strand 3 overwrites (parallel with 2: read races on every word).
+	for _, step := range []struct {
+		s     core.StrandID
+		write bool
+	}{{1, true}, {2, false}, {3, true}} {
+		if step.write {
+			serial.WriteRange(base, words, step.s, sctx)
+			par.WriteRangePar(base, words, step.s, pctx, pool)
+		} else {
+			serial.ReadRange(base, words, step.s, sctx)
+			par.ReadRangePar(base, words, step.s, pctx, pool)
+		}
+	}
+	if len(serialRaces) != words {
+		t.Fatalf("serial path found %d races, want %d", len(serialRaces), words)
+	}
+	if !reflect.DeepEqual(parRaces, serialRaces) {
+		t.Fatalf("parallel events diverge from serial (%d vs %d events)",
+			len(parRaces), len(serialRaces))
+	}
+	ss, ps := serial.Stats(), par.Stats()
+	if ss.Reads != ps.Reads || ss.Writes != ps.Writes ||
+		ss.ReaderAppends != ps.ReaderAppends || ss.ReaderFlushes != ps.ReaderFlushes ||
+		ss.TouchedPages != ps.TouchedPages || ss.OwnedSkips != ps.OwnedSkips {
+		t.Fatalf("stats diverged:\nserial %+v\npar    %+v", ss, ps)
+	}
+	if ps.ParRanges != 3 {
+		t.Fatalf("ParRanges = %d, want 3", ps.ParRanges)
+	}
+	if ps.ParChunks < 3*3 {
+		t.Fatalf("ParChunks = %d, want several chunks per fan-out", ps.ParChunks)
+	}
+}
+
+// TestParallelSpilledReaders forces the locked spill path under fan-out:
+// several distinct readers per word, then a writer racing with some of
+// them. Events must match the serial path exactly.
+func TestParallelSpilledReaders(t *testing.T) {
+	const words = 64
+	// Readers 2, 3, 4 are parallel with writer 6; 1 and 5 precede it.
+	rel := func(u, v core.StrandID) bool { return u == 1 || u == 5 }
+	serial, par := NewHistory(), NewHistory()
+	pool := NewPool(3, 8) // 8-word chunks: the 64-word range fans out
+	defer pool.Close()
+	var serialRaces, parRaces []raceEvent
+	sctx := ctxFor(rel, &serialRaces)
+	pctx := ctxFor(rel, &parRaces)
+	for _, s := range []core.StrandID{1, 2, 3, 4, 5} {
+		serial.ReadRange(1, words, s, sctx)
+		par.ReadRangePar(1, words, s, pctx, pool)
+	}
+	serial.WriteRange(1, words, 6, sctx)
+	par.WriteRangePar(1, words, 6, pctx, pool)
+	if len(serialRaces) != words {
+		t.Fatalf("serial: %d races, want %d (one racing reader per word)", len(serialRaces), words)
+	}
+	if !reflect.DeepEqual(parRaces, serialRaces) {
+		t.Fatalf("parallel spill events diverge\nserial: %v\npar:    %v",
+			serialRaces[:4], parRaces[:4])
+	}
+	// After the install-on-race fix the writer owns every word: a rewrite
+	// is all owned skips on both paths.
+	serialRaces, parRaces = nil, nil
+	sctx2 := ctxFor(rel, &serialRaces)
+	pctx2 := ctxFor(rel, &parRaces)
+	serial.WriteRange(1, words, 6, sctx2)
+	par.WriteRangePar(1, words, 6, pctx2, pool)
+	if len(serialRaces) != 0 || len(parRaces) != 0 {
+		t.Fatalf("re-reported races after install: serial %d, par %d", len(serialRaces), len(parRaces))
+	}
+}
+
+// TestTouchRangeParMatchesSerial pins the fanned-out checksum to the
+// serial one on a page-misaligned multi-chunk range.
+func TestTouchRangeParMatchesSerial(t *testing.T) {
+	h1, h2 := NewHistory(), NewHistory()
+	pool := NewPool(4, 0)
+	defer pool.Close()
+	base := uint64(3*pageSize - 19)
+	const words = 5*pageSize + 77
+	h1.TouchRange(base, words)
+	h2.TouchRangePar(base, words, pool)
+	if h1.touched != h2.touched {
+		t.Fatalf("parallel Touch checksum %d != serial %d", h2.touched, h1.touched)
+	}
+	if h2.Stats().TouchedPages != 0 {
+		t.Fatal("TouchRangePar materialized pages")
+	}
+}
+
+// TestPoolLifecycle covers the small-pool and close edge cases.
+func TestPoolLifecycle(t *testing.T) {
+	if p := NewPool(1, 0); p != nil {
+		t.Fatal("NewPool(1) should return nil (serial path needs no pool)")
+	}
+	if p := NewPool(0, 0); p != nil {
+		t.Fatal("NewPool(0) should return nil")
+	}
+	p := NewPool(3, 0)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+	p.Close()
+	p.Close() // idempotent
+	var nilPool *Pool
+	nilPool.Close() // nil-safe
+
+	// A nil pool routes everything to the serial path.
+	h := NewHistory()
+	var races []raceEvent
+	ctx := ctxFor(func(u, v core.StrandID) bool { return true }, &races)
+	h.WriteRangePar(1, 3*pageSize, 1, ctx, nil)
+	if h.Stats().ParRanges != 0 {
+		t.Fatal("nil pool still fanned out")
+	}
+	if h.Stats().Writes != 3*pageSize {
+		t.Fatal("nil-pool fallback lost writes")
+	}
+}
+
+// TestParallelChunkBoundaries sweeps range lengths around the chunk and
+// page boundaries so off-by-ones in the splitter surface.
+func TestParallelChunkBoundaries(t *testing.T) {
+	pool := NewPool(3, 16)
+	defer pool.Close()
+	rel := func(u, v core.StrandID) bool { return false } // everything races
+	for _, words := range []int{31, 32, 33, 47, 48, 49, 64, 16*3 - 1, 16 * 3, 16*3 + 1} {
+		t.Run(fmt.Sprint(words), func(t *testing.T) {
+			serial, par := NewHistory(), NewHistory()
+			var sr, pr []raceEvent
+			sctx := ctxFor(rel, &sr)
+			pctx := ctxFor(rel, &pr)
+			base := uint64(pageSize) - 24 // straddle a page boundary
+			serial.WriteRange(base, words, 1, sctx)
+			serial.WriteRange(base, words, 2, sctx)
+			par.WriteRangePar(base, words, 1, pctx, pool)
+			par.WriteRangePar(base, words, 2, pctx, pool)
+			if len(sr) != words {
+				t.Fatalf("serial: %d races, want %d", len(sr), words)
+			}
+			if !reflect.DeepEqual(pr, sr) {
+				t.Fatalf("events diverge at words=%d", words)
+			}
+		})
+	}
+}

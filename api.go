@@ -92,18 +92,32 @@ func Run(workers int, root func(*Task)) {
 }
 
 // RecordTrace executes root sequentially (eager futures, detection off)
-// and writes its construct + memory event stream to w. The trace can be
-// re-detected offline with ReplayTrace — under any algorithm — without
-// re-running the program, and makes a compact regression artifact.
+// and writes its construct + memory event stream to w in trace format v2
+// (coalesced range events, delta-compressed addresses, DEFLATE block
+// framing). The trace can be re-detected offline with ReplayTrace —
+// under any algorithm and worker count — without re-running the program,
+// and makes a compact regression artifact.
 func RecordTrace(w io.Writer, root func(*Task)) error {
 	return trace.Record(w, root)
 }
 
-// ReplayTrace runs a trace recorded by RecordTrace through the detection
-// engine configured by cfg and returns its report. Replaying a trace
-// yields exactly the same report as detecting the original program.
+// RecordTraceBytes is RecordTrace into a fresh buffer.
+func RecordTraceBytes(root func(*Task)) ([]byte, error) {
+	return trace.RecordBytes(root)
+}
+
+// ReplayTrace runs a trace recorded by RecordTrace (format v2, or the
+// legacy v1 format for older corpora) through the detection engine
+// configured by cfg and returns its report. Replaying a trace yields
+// exactly the same report as detecting the original program, for any
+// algorithm and worker count.
 func ReplayTrace(r io.Reader, cfg Config) (*Report, error) {
 	return trace.Replay(r, cfg)
+}
+
+// ReplayTraceBytes is ReplayTrace over an in-memory stream.
+func ReplayTraceBytes(b []byte, cfg Config) (*Report, error) {
+	return trace.ReplayBytes(b, cfg)
 }
 
 // For runs body(i) for every i in [lo, hi) as a balanced spawn tree with

@@ -290,6 +290,53 @@ func BenchmarkAccessHistoryRangeWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkRecord measures trace-recording throughput: one workload run
+// through the v2 recorder (coalescing batcher + delta encoding + DEFLATE
+// block framing) per iteration.
+func BenchmarkRecord(b *testing.B) {
+	ins := workloads.NewLCS(256, 16, workloads.StructuredFutures, 1)
+	var n int
+	for i := 0; i < b.N; i++ {
+		raw, err := futurerd.RecordTraceBytes(ins.Run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(raw)
+	}
+	b.ReportMetric(float64(n), "trace-bytes")
+}
+
+// BenchmarkReplay measures trace-replay throughput — the offline
+// detection path: decode a recorded v2 stream and drive it through full
+// MultiBags+ detection, serially and with the range worker pool.
+func BenchmarkReplay(b *testing.B) {
+	ins := workloads.NewLCS(256, 16, workloads.StructuredFutures, 1)
+	raw, err := futurerd.RecordTraceBytes(ins.Run)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		b.Run(fmt.Sprintf("lcs/workers=%d", workers), func(b *testing.B) {
+			var words uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := futurerd.ReplayTraceBytes(raw, futurerd.Config{
+					Mode: futurerd.ModeMultiBagsPlus, Mem: futurerd.MemFull,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Err != nil {
+					b.Fatal(rep.Err)
+				}
+				words = rep.Stats.Shadow.Reads + rep.Stats.Shadow.Writes
+			}
+			b.SetBytes(int64(len(raw)))
+			b.ReportMetric(float64(words), "words/op")
+		})
+	}
+}
+
 // BenchmarkParallelSpeedup measures the work-stealing scheduler against
 // sequential execution on the lcs wavefront, documenting that the same
 // programs the detector checks actually scale.

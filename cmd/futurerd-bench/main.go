@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	futurerd-bench [-table fig6|fig7|fig8|all] [-iters n]
+//	futurerd-bench [-table fig6|fig7|fig8|replay|all] [-iters n]
 //	               [-size test|quick|bench] [-validate] [-json]
-//	               [-workers n]
+//	               [-workers n] [-traces dir]
 //
 // By default times are printed as aligned tables, in seconds, with
 // overheads relative to the baseline configuration; see EXPERIMENTS.md
@@ -30,12 +30,13 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: fig6, fig7, fig8, all")
+	table := flag.String("table", "all", "which table to run: fig6, fig7, fig8, replay, all")
 	iters := flag.Int("iters", 3, "timed repetitions per configuration (minimum is reported)")
 	size := flag.String("size", "bench", "input scale: test, quick, bench")
 	validate := flag.Bool("validate", false, "re-validate outputs against sequential references")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	workers := flag.Int("workers", 0, "shadow range worker pool width for the detecting configs (<=1 serial)")
+	traces := flag.String("traces", "traces", "directory of the committed trace corpus (replay table)")
 	flag.Parse()
 
 	var sz workloads.SizeClass
@@ -56,7 +57,12 @@ func main() {
 		name string
 		run  func(bench.Options) (*bench.Table, []bench.Measurement, error)
 	}
-	gens := []gen{{"fig6", bench.Fig6}, {"fig7", bench.Fig7}, {"fig8", bench.Fig8}}
+	gens := []gen{
+		{"fig6", bench.Fig6}, {"fig7", bench.Fig7}, {"fig8", bench.Fig8},
+		{"replay", func(o bench.Options) (*bench.Table, []bench.Measurement, error) {
+			return bench.FigReplay(o, *traces)
+		}},
+	}
 	out := bench.JSONReport{Size: *size, Iters: opts.Iters, Workers: opts.Workers}
 	ran := false
 	for _, g := range gens {
@@ -76,7 +82,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -table %q (want fig6, fig7, fig8 or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "unknown -table %q (want fig6, fig7, fig8, replay or all)\n", *table)
 		os.Exit(2)
 	}
 	if *asJSON {

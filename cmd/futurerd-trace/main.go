@@ -1,137 +1,111 @@
-// Command futurerd-trace runs one benchmark under a chosen detection
-// algorithm and prints the execution's structural statistics: strands,
-// function instances, parallel constructs, reachability data-structure
-// traffic (union-find operations, attached sets, R arcs, transitive
-// closure size) and access-history traffic. With -dot it additionally
-// emits the full computation dag in Graphviz format (oracle mode only —
-// the other algorithms never materialize the dag; that is their point).
+// Command futurerd-trace works with detection runs and their event
+// traces, in four subcommands:
 //
-// Usage:
+//	futurerd-trace run    -bench lcs [-variant structured|general]
+//	                      [-mode multibags|multibags+|spbags|oracle]
+//	                      [-size test|quick|bench] [-mem off|instr|full]
+//	                      [-workers n] [-dot]
+//	futurerd-trace record -bench lcs [-variant ...] [-size ...]
+//	                      [-format v2|v1] -o trace.bin
+//	futurerd-trace replay -i trace.bin [-mode ...] [-mem ...] [-workers n]
+//	futurerd-trace stat   -i trace.bin
 //
-//	futurerd-trace -bench lcs [-variant structured|general]
-//	               [-mode multibags|multibags+|spbags|oracle]
-//	               [-size test|quick|bench] [-mem off|instr|full]
-//	               [-workers n] [-dot]
+// run executes one benchmark under a chosen detection algorithm and
+// prints the execution's structural statistics: strands, function
+// instances, parallel constructs, reachability data-structure traffic
+// and access-history traffic. With -dot it additionally emits the full
+// computation dag in Graphviz format (oracle mode only).
+//
+// record executes a benchmark once without detection and writes its
+// event trace (format v2 by default; v1 for migration tooling). replay
+// re-detects a recorded trace — any format, any algorithm, any worker
+// count — and prints the same statistics as run; -workers exercises the
+// parallel range path. stat summarizes a trace: event counts, bytes per
+// event, and the compression ratio against the equivalent v1 encoding.
+//
+// Invoking futurerd-trace with flags and no subcommand behaves as run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"futurerd"
+	"futurerd/internal/trace"
 	"futurerd/internal/workloads"
 )
 
-func main() {
-	benchName := flag.String("bench", "lcs", "benchmark: lcs, sw, mm, heartwall, dedup, bst")
-	variant := flag.String("variant", "structured", "workload variant: structured, general")
-	mode := flag.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle")
-	size := flag.String("size", "quick", "input scale: test, quick, bench")
-	mem := flag.String("mem", "full", "memory level: off, instr, full")
-	workers := flag.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
-	dot := flag.Bool("dot", false, "dump the computation dag as Graphviz (oracle mode)")
-	record := flag.String("record", "", "record the workload's event trace to this file instead of detecting")
-	replay := flag.String("replay", "", "detect a trace file recorded with -record instead of running a workload")
-	flag.Parse()
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
-	sz := map[string]workloads.SizeClass{
+func parseSize(fs *flag.FlagSet) *string {
+	return fs.String("size", "quick", "input scale: test, quick, bench")
+}
+
+func sizeClass(s string) workloads.SizeClass {
+	sz, ok := map[string]workloads.SizeClass{
 		"test": workloads.SizeTest, "quick": workloads.SizeQuick, "bench": workloads.SizeBench,
-	}[*size]
-	b, err := workloads.Lookup(*benchName, sz)
+	}[s]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -size %q\n", s)
+		os.Exit(2)
+	}
+	return sz
+}
+
+func parseMode(s string) futurerd.Mode {
+	switch s {
+	case "multibags":
+		return futurerd.ModeMultiBags
+	case "multibags+":
+		return futurerd.ModeMultiBagsPlus
+	case "spbags":
+		return futurerd.ModeSPBags
+	case "oracle":
+		return futurerd.ModeOracle
+	}
+	fmt.Fprintf(os.Stderr, "unknown -mode %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+func parseMem(s string) futurerd.MemLevel {
+	switch s {
+	case "off":
+		return futurerd.MemOff
+	case "instr":
+		return futurerd.MemInstr
+	case "full":
+		return futurerd.MemFull
+	}
+	fmt.Fprintf(os.Stderr, "unknown -mem %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+// lookup resolves a benchmark/variant/size triple to an instance factory.
+func lookup(bench, variant string, sz workloads.SizeClass) func() workloads.Instance {
+	b, err := workloads.Lookup(bench, sz)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	mk := b.Structured
-	if *variant == "general" {
+	if variant == "general" {
 		if b.General == nil {
 			fmt.Fprintf(os.Stderr, "%s has no general variant\n", b.Name)
 			os.Exit(2)
 		}
 		mk = b.General
 	}
-	var m futurerd.Mode
-	switch *mode {
-	case "multibags":
-		m = futurerd.ModeMultiBags
-	case "multibags+":
-		m = futurerd.ModeMultiBagsPlus
-	case "spbags":
-		m = futurerd.ModeSPBags
-	case "oracle":
-		m = futurerd.ModeOracle
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -mode %q\n", *mode)
-		os.Exit(2)
-	}
-	var ml futurerd.MemLevel
-	switch *mem {
-	case "off":
-		ml = futurerd.MemOff
-	case "instr":
-		ml = futurerd.MemInstr
-	case "full":
-		ml = futurerd.MemFull
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -mem %q\n", *mem)
-		os.Exit(2)
-	}
+	return mk
+}
 
-	var rep *futurerd.Report
-	var ins interface {
-		Name() string
-		Validate() error
-	}
-	switch {
-	case *replay != "":
-		f, err := os.Open(*replay)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		rep, err = futurerd.ReplayTrace(f, futurerd.Config{Mode: m, Mem: ml, Workers: *workers})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "replay failed: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("workload        trace %s\n", *replay)
-	case *record != "":
-		f, err := os.Create(*record)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		w := mk()
-		if err := futurerd.RecordTrace(f, w.Run); err != nil {
-			fmt.Fprintf(os.Stderr, "record failed: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		st, _ := os.Stat(*record)
-		fmt.Printf("recorded %s (%s) to %s (%d bytes)\n", w.Name(), *variant, *record, st.Size())
-		return
-	default:
-		w := mk()
-		ins = w
-		rep = futurerd.Detect(futurerd.Config{Mode: m, Mem: ml, Workers: *workers}, w.Run)
-	}
-	if rep.Err != nil {
-		fmt.Fprintf(os.Stderr, "engine error: %v\n", rep.Err)
-		os.Exit(1)
-	}
-	if ins != nil {
-		if err := ins.Validate(); err != nil {
-			fmt.Fprintf(os.Stderr, "validation failed: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("workload        %s\n", ins.Name())
-	}
-
+func printReport(rep *futurerd.Report, ml futurerd.MemLevel) {
 	s := rep.Stats
 	fmt.Printf("algorithm       %s (%s)\n", rep.Algorithm, ml)
 	fmt.Printf("strands         %d\n", s.Strands)
@@ -179,17 +153,172 @@ func main() {
 	for _, r := range rep.Races {
 		fmt.Printf("  %s\n", r)
 	}
+}
 
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	benchName := fs.String("bench", "lcs", "benchmark: lcs, sw, mm, heartwall, dedup, bst")
+	variant := fs.String("variant", "structured", "workload variant: structured, general")
+	mode := fs.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle")
+	size := parseSize(fs)
+	mem := fs.String("mem", "full", "memory level: off, instr, full")
+	workers := fs.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
+	dot := fs.Bool("dot", false, "dump the computation dag as Graphviz (oracle mode)")
+	fs.Parse(args)
+
+	mk := lookup(*benchName, *variant, sizeClass(*size))
+	m, ml := parseMode(*mode), parseMem(*mem)
+	w := mk()
+	rep := futurerd.Detect(futurerd.Config{Mode: m, Mem: ml, Workers: *workers}, w.Run)
+	if rep.Err != nil {
+		fail(fmt.Errorf("engine error: %w", rep.Err))
+	}
+	if err := w.Validate(); err != nil {
+		fail(fmt.Errorf("validation failed: %w", err))
+	}
+	fmt.Printf("workload        %s\n", w.Name())
+	printReport(rep, ml)
 	if *dot {
-		if m != futurerd.ModeOracle || *replay != "" {
-			fmt.Fprintln(os.Stderr, "-dot requires -mode oracle on a direct workload run")
+		if m != futurerd.ModeOracle {
+			fmt.Fprintln(os.Stderr, "-dot requires -mode oracle")
 			os.Exit(2)
 		}
 		dag, err := futurerd.DetectDAG(mk().Run)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println(dag)
+	}
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	benchName := fs.String("bench", "lcs", "benchmark: lcs, sw, mm, heartwall, dedup, bst")
+	variant := fs.String("variant", "structured", "workload variant: structured, general")
+	size := parseSize(fs)
+	format := fs.String("format", "v2", "trace format: v2, v1 (legacy, for migration tooling)")
+	out := fs.String("o", "", "output trace file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "record: -o is required")
+		os.Exit(2)
+	}
+	mk := lookup(*benchName, *variant, sizeClass(*size))
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	w := mk()
+	switch *format {
+	case "v2":
+		err = futurerd.RecordTrace(f, w.Run)
+	case "v1":
+		err = trace.RecordV1(f, w.Run)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(fmt.Errorf("record failed: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("recorded %s (%s, %s) to %s (%d bytes)\n", w.Name(), *variant, *format, *out, st.Size())
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	mode := fs.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle")
+	mem := fs.String("mem", "full", "memory level: off, instr, full")
+	workers := fs.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "replay: -i is required")
+		os.Exit(2)
+	}
+	m, ml := parseMode(*mode), parseMem(*mem)
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	rep, err := futurerd.ReplayTrace(f, futurerd.Config{Mode: m, Mem: ml, Workers: *workers})
+	if err != nil {
+		fail(fmt.Errorf("replay failed: %w", err))
+	}
+	if rep.Err != nil {
+		fail(fmt.Errorf("engine error: %w", rep.Err))
+	}
+	fmt.Printf("workload        trace %s\n", *in)
+	printReport(rep, ml)
+}
+
+func cmdStat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "stat: -i is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	st, err := trace.Stat(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("format          v%d\n", st.Version)
+	fmt.Printf("bytes           %d\n", st.Bytes)
+	fmt.Printf("events          %d\n", st.Events)
+	fmt.Printf("  spawns        %d\n", st.Spawns)
+	fmt.Printf("  creates       %d\n", st.Creates)
+	fmt.Printf("  gets          %d\n", st.Gets)
+	fmt.Printf("  syncs         %d\n", st.Syncs)
+	fmt.Printf("  task ends     %d\n", st.TaskEnds)
+	fmt.Printf("  labels        %d\n", st.Labels)
+	fmt.Printf("  accesses      %d (%d words)\n", st.Accesses, st.Words)
+	fmt.Printf("bytes/event     %.2f\n", st.BytesPerEvent())
+	if st.Version == 2 {
+		fmt.Printf("v1 equivalent   %d bytes (same events, legacy encoding)\n", st.V1Bytes)
+		fmt.Printf("compression     %.1fx\n", st.Ratio())
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: futurerd-trace [run|record|replay|stat] [flags]")
+	fmt.Fprintln(os.Stderr, "  run     detect a benchmark directly and print statistics (default)")
+	fmt.Fprintln(os.Stderr, "  record  write a benchmark's event trace (v2; -format v1 for legacy)")
+	fmt.Fprintln(os.Stderr, "  replay  re-detect a recorded trace (-workers for the parallel path)")
+	fmt.Fprintln(os.Stderr, "  stat    summarize a trace: events, bytes/event, compression ratio")
+	fmt.Fprintln(os.Stderr, "run 'futurerd-trace <subcommand> -h' for the subcommand's flags")
+}
+
+func main() {
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	switch cmd {
+	case "run":
+		cmdRun(args)
+	case "record":
+		cmdRecord(args)
+	case "replay":
+		cmdReplay(args)
+	case "stat":
+		cmdStat(args)
+	case "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", cmd)
+		usage()
+		os.Exit(2)
 	}
 }

@@ -58,6 +58,33 @@
 // (Task.ReadRange/WriteRange, Matrix.ReadRow/WriteRow) for contiguous
 // data; they amortize hook dispatch and page lookup over the whole range.
 //
+// # Event pipeline
+//
+// The detection stack is front-ends → batcher → detection back-end.
+// Every execution front-end (a live program under Detect, a recorded
+// trace under ReplayTrace, a generated workload) appends its accesses to
+// coalescing event batches (internal/event): contiguous same-kind
+// accesses merge into ranges before they reach the shadow layer, so even
+// word-at-a-time code pays the per-range, not per-word, cost. Batches
+// are sealed at parallel constructs — where the reachability relation is
+// about to mutate — so everything in one batch executed under a single
+// immutable relation; with Config.Workers > 1 sealed batches are checked
+// on a back-end goroutine overlapping continued program execution, and
+// constructs drain the back-end before mutating the relation. Verdicts,
+// report order and deterministic counters are identical to a synchronous
+// run.
+//
+// # Traces
+//
+// RecordTrace executes a program once (no detection) and writes its
+// construct + memory event stream in format v2: coalesced range events,
+// delta-compressed addresses, strand labels, DEFLATE block framing.
+// ReplayTrace re-detects a stream — either format version, any
+// algorithm, any worker count — with exactly the report a direct run
+// produces, replaying iteratively so spawn depth never consumes Go
+// stack. See internal/trace for the wire format and cmd/futurerd-trace
+// for the record/replay/stat CLI.
+//
 // # Parallel range detection
 //
 // Config.Workers > 1 fans large bulk ranges out across a persistent

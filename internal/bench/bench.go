@@ -16,13 +16,17 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"futurerd"
+	"futurerd/internal/trace"
 	"futurerd/internal/workloads"
 )
 
@@ -297,6 +301,75 @@ func Fig7(opts Options) (*Table, []Measurement, error) {
 		"Figure 7: general futures + MultiBags+ (cf. paper Fig. 7)",
 		futurerd.ModeMultiBagsPlus,
 		func(b workloads.Benchmark) func() workloads.Instance { return b.General })
+}
+
+// FigReplay measures trace-replay throughput over the committed trace
+// corpus (one v2 trace per paper workload, recorded at test size): each
+// trace is decoded and driven through full MultiBags+ detection with
+// opts.Workers. Wall time is machine-dependent; the replay's execution
+// counters are deterministic for a given corpus and code version, which
+// is what the benchtrend gate keys on — a drift means the decoder or the
+// detection pipeline changed behavior.
+func FigReplay(opts Options, dir string) (*Table, []Measurement, error) {
+	opts.defaults()
+	t := &Table{
+		Title:  "Replay: committed trace corpus through full MultiBags+ detection",
+		Header: []string{"bench", "bytes", "events", "words", "seconds", "Mwords/s"},
+	}
+	var ms []Measurement
+	for _, b := range workloads.All(workloads.SizeTest) {
+		path := filepath.Join(dir, b.Name+".trace")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf(
+				"replay corpus: %w (regenerate with: go run ./cmd/futurerd-trace record -bench %s -size test -o %s)",
+				err, b.Name, path)
+		}
+		st, err := trace.Stat(bytes.NewReader(raw))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		cfg := futurerd.Config{
+			Mode: futurerd.ModeMultiBagsPlus, Mem: futurerd.MemFull,
+			Workers: opts.Workers,
+		}
+		best := time.Duration(math.MaxInt64)
+		var rep *futurerd.Report
+		for i := 0; i < opts.Iters; i++ {
+			start := time.Now()
+			r, err := futurerd.ReplayTraceBytes(raw, cfg)
+			d := time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if r.Err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, r.Err)
+			}
+			if r.Racy() {
+				return nil, nil, fmt.Errorf("%s: unexpected races: %v", path, r.Races[0])
+			}
+			if d < best {
+				best, rep = d, r
+			}
+		}
+		words := rep.Stats.Shadow.Reads + rep.Stats.Shadow.Writes
+		t.Rows = append(t.Rows, []string{
+			b.Name,
+			fmt.Sprintf("%d", len(raw)),
+			fmt.Sprintf("%d", st.Events),
+			fmt.Sprintf("%d", words),
+			secs(best),
+			fmt.Sprintf("%.2f", float64(words)/1e6/best.Seconds()),
+		})
+		ms = append(ms, Measurement{
+			Figure: "replay", Bench: b.Name, Config: "replay",
+			Seconds: best.Seconds(), Stats: &rep.Stats,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"corpus: traces/<bench>.trace, v2 format, test size, structured variants;",
+		"counters are deterministic per corpus+code version and gated by futurerd-benchtrend")
+	return t, ms, nil
 }
 
 // Fig8 reproduces Figure 8: reachability-only overhead of MultiBags vs

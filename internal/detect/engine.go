@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"futurerd/internal/core"
+	"futurerd/internal/event"
 	"futurerd/internal/graph"
 	"futurerd/internal/shadow"
 )
@@ -54,16 +55,34 @@ type Engine struct {
 	// across (Config.Workers > 1 and a concurrent-query-safe algorithm).
 	pool *shadow.Pool
 
+	// batch is the open access-event batch: Read/Write append to it
+	// (coalescing contiguous same-kind accesses into ranges) and the
+	// whole batch is handed to the detection back-end at the next
+	// parallel construct, or earlier when it fills. Nil when memory
+	// accesses are ignored (Mem == MemOff).
+	batch *event.Batch
+
+	// be, when non-nil, is the asynchronous detection back-end: sealed
+	// batches are checked on its goroutine while the program keeps
+	// executing. Constructs drain it before mutating the reachability
+	// relation, so in-flight batch checks only ever see the immutable
+	// relation they were recorded under.
+	be *backend
+
 	labels map[core.FnID]string
 
-	// The race sink. raceMu guards it so reports may arrive from any
-	// goroutine; today the parallel range path buffers per worker and
-	// delivers on the engine goroutine, so the lock is uncontended, but
-	// the dedupe state must stay correct if a future caller reports
-	// concurrently. raceSeen maps a racy address to the signature of the
-	// recorded strand pair so observations of a different pair at the
-	// same address can be counted (droppedPairs) instead of silently
-	// vanishing.
+	// violMu guards violations: Verify-mode reachability mismatches are
+	// recorded from the detection back-end goroutine, while discipline
+	// violations arrive from the engine goroutine.
+	violMu sync.Mutex
+
+	// The race sink. raceMu guards it (and the labels map) because with
+	// Workers > 1 races are reported from the detection back-end
+	// goroutine while the engine goroutine keeps executing; the single
+	// back-end consumer keeps delivery in serial report order. raceSeen
+	// maps a racy address to the signature of the recorded strand pair so
+	// observations of a different pair at the same address can be counted
+	// (droppedPairs) instead of silently vanishing.
 	raceMu     sync.Mutex
 	races      []Race
 	raceSeen   map[uint64]uint64
@@ -107,6 +126,7 @@ func NewEngine(cfg Config) *Engine {
 				e.pool = shadow.NewPool(cfg.Workers, cfg.WorkerChunk)
 			}
 		}
+		e.initPipeline(cfg)
 		return e
 	}
 	e.st = core.NewStrandTable(1024)
@@ -152,7 +172,22 @@ func NewEngine(cfg Config) *Engine {
 	e.sctx.OnWriteRace = func(addr uint64, r shadow.Racer, cur core.StrandID) {
 		e.reportRace(addr, r.Prev, cur, r.PrevWrite, true)
 	}
+	e.initPipeline(cfg)
 	return e
+}
+
+// initPipeline sets up the access-event batch layer: every engine that
+// observes memory accesses batches them, and Workers > 1 additionally
+// runs batch detection asynchronously on the back-end goroutine,
+// overlapping it with continued program execution.
+func (e *Engine) initPipeline(cfg Config) {
+	if e.hist == nil {
+		return
+	}
+	e.batch = event.New()
+	if cfg.Workers > 1 {
+		e.be = newBackend(e)
+	}
 }
 
 // Run executes root under the engine and returns the report.
@@ -166,7 +201,10 @@ func (e *Engine) Run(root func(*Task)) *Report {
 	// Release the range workers on every exit path, including a genuine
 	// user panic that the recover below re-raises (Close is idempotent
 	// and nil-safe; report() also closes for the error-config path).
+	// The detection back-end stops first (LIFO defers): it drains its
+	// in-flight batches, which may still be fanning out across the pool.
 	defer e.pool.Close()
+	defer e.be.stop()
 	if e.detecting {
 		t.fn = e.newFn()
 		t.strand = e.newStrand(t.fn)
@@ -189,6 +227,8 @@ func (e *Engine) Run(root func(*Task)) *Report {
 }
 
 func (e *Engine) report() *Report {
+	e.seal()       // flush and check any still-open batch
+	e.be.stop()    // quiesce the detection back-end (nil-safe)
 	e.pool.Close() // release the range workers (nil-safe)
 	if v, ok := e.reach.(*verifyReach); ok {
 		if mbp, ok := v.algo.(*core.MultiBagsPlus); ok {
@@ -196,6 +236,15 @@ func (e *Engine) report() *Report {
 				e.violate("structural-invariant", s)
 			}
 		}
+	}
+	// Resolve race labels against the final label map: the back-end may
+	// have recorded a race before a Label call it logically follows (a
+	// batch can flush mid-window), so the report is labeled here, after
+	// the run, where the outcome is deterministic for any pipeline mode.
+	for i := range e.races {
+		r := &e.races[i]
+		r.PrevLabel = e.labels[e.st.FnOf(r.Prev)]
+		r.CurrLabel = e.labels[e.st.FnOf(r.Curr)]
 	}
 	rep := &Report{
 		Races:      e.races,
@@ -247,11 +296,16 @@ func (e *Engine) newStrand(fn core.FnID) core.StrandID {
 
 // Label attaches a human-readable label to the current function instance
 // of t (the task's whole body); races involving any of its strands carry
-// it. No-op when not detecting.
+// it in the final report (resolved once the run completes, so a label
+// applies to its function's races regardless of where in the body it was
+// set). No-op when not detecting. raceMu orders the map write against
+// the asynchronous back-end's best-effort label lookups for OnRace.
 func (e *Engine) Label(t *Task, label string) {
 	if !e.detecting {
 		return
 	}
+	e.raceMu.Lock()
+	defer e.raceMu.Unlock()
 	if e.labels == nil {
 		e.labels = make(map[core.FnID]string)
 	}
@@ -260,11 +314,24 @@ func (e *Engine) Label(t *Task, label string) {
 
 // Spawn implements Executor.
 func (e *Engine) Spawn(t *Task, f func(*Task)) {
+	child := e.BeginSpawn(t)
+	f(child)
+	e.EndSpawn(t, child)
+}
+
+// BeginSpawn starts a spawned child without running a body: it seals the
+// open access batch, records the fork with the reachability algorithm and
+// returns the child task. Callers must pair it with EndSpawn after the
+// child's events have been delivered. Task.Spawn is BeginSpawn + body +
+// EndSpawn; streaming front-ends (internal/trace's iterative replay) call
+// the pair directly so task nesting lives on their explicit stack instead
+// of the Go call stack.
+func (e *Engine) BeginSpawn(t *Task) *Task {
+	e.seal()
 	e.spawns++
 	e.sctx.Gen++
 	if !e.detecting {
-		f(&Task{ex: e})
-		return
+		return &Task{ex: e}
 	}
 	fork := t.strand
 	childFn := e.newFn()
@@ -275,20 +342,29 @@ func (e *Engine) Spawn(t *Task, f func(*Task)) {
 		Fork: fork, ChildFirst: childFirst, ContFirst: cont,
 	})
 	child := &Task{ex: e, fn: childFn, strand: childFirst}
-	f(child)
-	e.Sync(child) // implicit sync at function end
-	childLast := child.strand
-	e.reach.Return(core.ReturnRec{Fn: childFn, ParentFn: t.fn, Last: childLast})
-	t.spawns = append(t.spawns, spawnRec{
-		childFn: childFn, fork: fork, childFirst: childFirst,
-		cont: cont, childLast: childLast,
-	})
-	t.strand = cont
+	child.born = spawnRec{childFn: childFn, fork: fork, childFirst: childFirst, cont: cont}
+	return child
+}
+
+// EndSpawn completes a child started by BeginSpawn: the child's implicit
+// function-end sync runs, its return is recorded, and the parent resumes
+// on the continuation strand.
+func (e *Engine) EndSpawn(t, child *Task) {
+	if !e.detecting {
+		return
+	}
+	e.Sync(child) // implicit sync at function end (seals the child's batch)
+	r := child.born
+	r.childLast = child.strand
+	e.reach.Return(core.ReturnRec{Fn: child.fn, ParentFn: t.fn, Last: r.childLast})
+	t.spawns = append(t.spawns, r)
+	t.strand = r.cont
 }
 
 // Sync implements Executor: it decomposes the join into one binary join
 // per outstanding child, innermost (most recently spawned) first.
 func (e *Engine) Sync(t *Task) {
+	e.seal()
 	e.syncs++
 	e.sctx.Gen++
 	if !e.detecting || len(t.spawns) == 0 {
@@ -314,12 +390,21 @@ func (e *Engine) Sync(t *Task) {
 // completion immediately; the continuation strand is still logically
 // parallel with it.
 func (e *Engine) CreateFut(t *Task, body func(*Task) any) *Fut {
+	child, h := e.BeginFut(t)
+	v := body(child)
+	e.EndFut(t, child, h, v)
+	return h
+}
+
+// BeginFut starts a future child without running a body, returning the
+// child task and the (not yet completed) handle. Pair with EndFut; see
+// BeginSpawn for the streaming-front-end rationale.
+func (e *Engine) BeginFut(t *Task) (*Task, *Fut) {
+	e.seal()
 	e.creates++
 	e.sctx.Gen++
 	if !e.detecting {
-		h := &Fut{}
-		h.Complete(body(&Task{ex: e}))
-		return h
+		return &Task{ex: e}, &Fut{}
 	}
 	creator := t.strand
 	futFn := e.newFn()
@@ -331,17 +416,29 @@ func (e *Engine) CreateFut(t *Task, body func(*Task) any) *Fut {
 	})
 	h := &Fut{fn: futFn, creatorStrand: creator, first: futFirst}
 	child := &Task{ex: e, fn: futFn, strand: futFirst}
-	h.val = body(child)
-	e.Sync(child) // implicit sync at function end
+	child.born = spawnRec{cont: cont}
+	return child, h
+}
+
+// EndFut completes a future child started by BeginFut with value val: the
+// child's implicit function-end sync runs, the handle is marked done, and
+// the creator resumes on the continuation strand.
+func (e *Engine) EndFut(t, child *Task, h *Fut, val any) {
+	if !e.detecting {
+		h.Complete(val)
+		return
+	}
+	h.val = val
+	e.Sync(child) // implicit sync at function end (seals the child's batch)
 	h.last = child.strand
 	h.done = true
-	e.reach.Return(core.ReturnRec{Fn: futFn, ParentFn: t.fn, Last: h.last})
-	t.strand = cont
-	return h
+	e.reach.Return(core.ReturnRec{Fn: h.fn, ParentFn: t.fn, Last: h.last})
+	t.strand = child.born.cont
 }
 
 // GetFut implements Executor.
 func (e *Engine) GetFut(t *Task, h *Fut) any {
+	e.seal()
 	e.gets++
 	e.sctx.Gen++
 	if h == nil {
@@ -382,6 +479,8 @@ func (e *Engine) GetFut(t *Task, h *Fut) any {
 const MaxViolations = 256
 
 func (e *Engine) violate(kind, detail string) {
+	e.violMu.Lock()
+	defer e.violMu.Unlock()
 	if len(e.violations) < MaxViolations {
 		e.violations = append(e.violations, Violation{Kind: kind, Detail: detail})
 		return
@@ -389,35 +488,142 @@ func (e *Engine) violate(kind, detail string) {
 	e.dropViol++
 }
 
-// Read implements Executor. The whole range is handed to the shadow layer
-// in one call: the page lookup, current strand and race plumbing are
-// resolved once per range, not once per word. MemFull is tested first —
-// it is the only level with per-access work worth branching for. With a
-// worker pool configured, large ranges fan out across it; everything else
-// takes the serial fast path.
+// Read implements Executor: the access is appended to the open event
+// batch (coalescing contiguous same-kind accesses into ranges), and the
+// batch as a whole reaches the shadow layer at the next parallel
+// construct — or earlier when it fills — where the page lookup, strand
+// and race plumbing are resolved once per coalesced range.
 func (e *Engine) Read(t *Task, addr uint64, words int) {
-	if e.mem == MemFull {
-		if e.pool != nil {
-			e.hist.ReadRangePar(addr, words, t.strand, &e.sctx, e.pool)
-		} else {
-			e.hist.ReadRange(addr, words, t.strand, &e.sctx)
-		}
-	} else if e.mem == MemInstr {
-		e.hist.TouchRangePar(addr, words, e.pool)
-	}
+	e.access(t, event.Read, addr, words)
 }
 
 // Write implements Executor.
 func (e *Engine) Write(t *Task, addr uint64, words int) {
-	if e.mem == MemFull {
-		if e.pool != nil {
-			e.hist.WriteRangePar(addr, words, t.strand, &e.sctx, e.pool)
-		} else {
-			e.hist.WriteRange(addr, words, t.strand, &e.sctx)
-		}
-	} else if e.mem == MemInstr {
-		e.hist.TouchRangePar(addr, words, e.pool)
+	e.access(t, event.Write, addr, words)
+}
+
+func (e *Engine) access(t *Task, k event.Kind, addr uint64, words int) {
+	if e.batch == nil || words <= 0 {
+		return
 	}
+	if len(e.batch.Ops) > 0 && e.batch.Strand != t.strand {
+		// Unreachable today — the current strand only changes at
+		// constructs, which seal — but the single-strand batch invariant
+		// is what makes overlapped checking sound, so enforce it locally.
+		e.flushBatch()
+	}
+	e.batch.Strand = t.strand
+	if e.batch.Append(k, addr, words) >= event.MaxOps {
+		e.flushBatch()
+	}
+}
+
+// seal closes the open batch and, when the back-end is asynchronous,
+// waits for every in-flight batch check to finish. It runs at each
+// parallel construct: the reachability relation is about to mutate (or be
+// queried by the construct itself), and batch checks must only ever
+// overlap plain execution, never a construct.
+func (e *Engine) seal() {
+	if e.batch == nil {
+		return
+	}
+	e.flushBatch()
+	if e.be != nil {
+		e.be.drain()
+	}
+}
+
+// flushBatch hands the open batch to the detection back-end: inline on
+// the engine goroutine when the pipeline is synchronous, queued to the
+// back-end goroutine (overlapping continued execution) when it is not.
+func (e *Engine) flushBatch() {
+	if len(e.batch.Ops) == 0 {
+		return
+	}
+	if e.be != nil {
+		full := e.batch
+		e.batch = event.New()
+		e.be.submit(full)
+		return
+	}
+	e.processBatch(e.batch)
+	e.batch.Reset()
+}
+
+// processBatch runs detection over one sealed batch. Every op in the
+// batch was performed by batch.Strand under the reachability relation
+// current at processing time (constructs drain the back-end before
+// mutating it). Large coalesced ranges additionally fan out across the
+// shadow worker pool.
+func (e *Engine) processBatch(b *event.Batch) {
+	if e.mem == MemFull {
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			if op.Kind == event.Read {
+				if e.pool != nil {
+					e.hist.ReadRangePar(op.Addr, op.Words, b.Strand, &e.sctx, e.pool)
+				} else {
+					e.hist.ReadRange(op.Addr, op.Words, b.Strand, &e.sctx)
+				}
+			} else {
+				if e.pool != nil {
+					e.hist.WriteRangePar(op.Addr, op.Words, b.Strand, &e.sctx, e.pool)
+				} else {
+					e.hist.WriteRange(op.Addr, op.Words, b.Strand, &e.sctx)
+				}
+			}
+		}
+		return
+	}
+	// MemInstr: decode-only traffic.
+	for i := range b.Ops {
+		e.hist.TouchRangePar(b.Ops[i].Addr, b.Ops[i].Words, e.pool)
+	}
+}
+
+// backend is the asynchronous detection back-end: one consumer goroutine
+// that checks sealed batches while the engine goroutine keeps executing
+// the program. A single consumer preserves the serial batch order — and
+// with it the exact verdicts and report order of a synchronous run —
+// while each batch's bulk ranges may still fan out across the worker
+// pool. Memory ordering: a batch is published by the channel send, and
+// the construct's drain() observes all of the consumer's shadow and
+// counter writes via pending.Wait.
+type backend struct {
+	ch      chan *event.Batch
+	pending sync.WaitGroup
+	stopped sync.Once
+}
+
+func newBackend(e *Engine) *backend {
+	be := &backend{ch: make(chan *event.Batch, 16)}
+	go func() {
+		for b := range be.ch {
+			e.processBatch(b)
+			event.Recycle(b)
+			be.pending.Done()
+		}
+	}()
+	return be
+}
+
+func (be *backend) submit(b *event.Batch) {
+	be.pending.Add(1)
+	be.ch <- b
+}
+
+// drain blocks until every submitted batch has been checked.
+func (be *backend) drain() { be.pending.Wait() }
+
+// stop drains and releases the consumer goroutine. Idempotent, nil-safe.
+func (be *backend) stop() {
+	if be == nil {
+		return
+	}
+	be.stopped.Do(func() {
+		be.pending.Wait()
+		close(be.ch)
+	})
 }
 
 // pairSig condenses a race's identity beyond its address — the strand

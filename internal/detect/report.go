@@ -111,7 +111,13 @@ type Config struct {
 	// mismatches. Slow; for tests.
 	Verify bool
 
-	// OnRace, if non-nil, is called for each distinct race as found.
+	// OnRace, if non-nil, is called for each distinct race as found,
+	// always before Run returns and in report order. With Workers > 1
+	// detection runs on a back-end goroutine overlapping program
+	// execution, so the callback may fire there, concurrently with user
+	// code — a callback touching state the program also touches must
+	// synchronize. Label fields on callback races are best-effort (the
+	// final Report re-resolves them); everything else is final.
 	OnRace func(Race)
 }
 

@@ -19,6 +19,11 @@ type Task struct {
 	strand core.StrandID
 	spawns []spawnRec // outstanding spawned children, LIFO
 
+	// born carries a child task's join bookkeeping between BeginSpawn/
+	// BeginFut and the matching End call (the strands recorded at the
+	// fork, completed with the child's last strand at the join).
+	born spawnRec
+
 	// Scheduler state (opaque to this package; see internal/sched).
 	Par any
 }
@@ -79,10 +84,12 @@ func (t *Task) WriteRange(addr uint64, words int) { t.ex.Write(t, addr, words) }
 
 // Label attaches a human-readable label to the current function instance
 // (this task's body); races involving it carry the label in reports.
-// No-op outside detection.
+// Executors that track labels (the detection engine, the trace recorder)
+// implement the optional Label method; under any other executor this is a
+// no-op.
 func (t *Task) Label(label string) {
-	if e, ok := t.ex.(*Engine); ok {
-		e.Label(t, label)
+	if l, ok := t.ex.(interface{ Label(*Task, string) }); ok {
+		l.Label(t, label)
 	}
 }
 

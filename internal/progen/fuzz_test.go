@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"futurerd/internal/detect"
+	"futurerd/internal/trace"
 )
 
 // Native fuzz targets: any seed must produce a program on which the
@@ -69,6 +70,66 @@ func parallelOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, s
 	}
 }
 
+// replayOne asserts the record→replay→detect equivalence on one
+// generated program: recording its trace and replaying it must reproduce
+// the direct run's report — same races in the same order, same structure
+// and shadow traffic — under every algorithm, serial and parallel.
+func replayOne(t *testing.T, seed uint64, dialect Dialect, stmts int) {
+	t.Helper()
+	p := Generate(seed, Options{Dialect: dialect, MaxStmts: stmts})
+	raw, err := trace.RecordBytes(p.Run)
+	if err != nil {
+		t.Fatalf("seed %d: record: %v", seed, err)
+	}
+	for _, mode := range []detect.Mode{
+		detect.ModeSPBags, detect.ModeMultiBags, detect.ModeMultiBagsPlus,
+	} {
+		for _, workers := range []int{1, 4} {
+			cfg := detect.Config{
+				Mode: mode, Mem: detect.MemFull,
+				Workers: workers, WorkerChunk: 4, MaxRaces: 1 << 20,
+			}
+			direct := detect.NewEngine(cfg).Run(p.Run)
+			replayed, err := trace.ReplayBytes(raw, cfg)
+			if err != nil {
+				t.Fatalf("seed %d [%s w=%d]: replay: %v\n%s", seed, mode, workers, err, p)
+			}
+			if (direct.Err == nil) != (replayed.Err == nil) {
+				t.Fatalf("seed %d [%s w=%d]: errs diverge: %v vs %v\n%s",
+					seed, mode, workers, direct.Err, replayed.Err, p)
+			}
+			if direct.Stats.RaceCount != replayed.Stats.RaceCount ||
+				len(direct.Races) != len(replayed.Races) {
+				t.Fatalf("seed %d [%s w=%d]: direct %d/%d vs replay %d/%d races\n%s",
+					seed, mode, workers,
+					len(direct.Races), direct.Stats.RaceCount,
+					len(replayed.Races), replayed.Stats.RaceCount, p)
+			}
+			for i := range direct.Races {
+				if direct.Races[i] != replayed.Races[i] {
+					t.Fatalf("seed %d [%s w=%d]: race %d differs: %v vs %v\n%s",
+						seed, mode, workers, i, direct.Races[i], replayed.Races[i], p)
+				}
+			}
+			if direct.Stats.Strands != replayed.Stats.Strands ||
+				direct.Stats.Spawns != replayed.Stats.Spawns ||
+				direct.Stats.Creates != replayed.Stats.Creates ||
+				direct.Stats.Gets != replayed.Stats.Gets ||
+				direct.Stats.Syncs != replayed.Stats.Syncs {
+				t.Fatalf("seed %d [%s w=%d]: structure diverges:\ndirect %+v\nreplay %+v\n%s",
+					seed, mode, workers, direct.Stats, replayed.Stats, p)
+			}
+			ss, rs := direct.Stats.Shadow, replayed.Stats.Shadow
+			if ss.Reads != rs.Reads || ss.Writes != rs.Writes ||
+				ss.OwnedSkips != rs.OwnedSkips || ss.ReaderAppends != rs.ReaderAppends ||
+				ss.ReaderFlushes != rs.ReaderFlushes {
+				t.Fatalf("seed %d [%s w=%d]: shadow counters diverge\ndirect %+v\nreplay %+v\n%s",
+					seed, mode, workers, ss, rs, p)
+			}
+		}
+	}
+}
+
 func FuzzGeneralPrograms(f *testing.F) {
 	for _, s := range []uint64{0, 1, 7, 42, 1 << 20, 0xdeadbeef} {
 		f.Add(s)
@@ -76,6 +137,7 @@ func FuzzGeneralPrograms(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		fuzzOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
 		parallelOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
+		replayOne(t, seed, General, 60)
 	})
 }
 
@@ -87,6 +149,7 @@ func FuzzStructuredPrograms(f *testing.F) {
 		fuzzOne(t, seed, Structured, detect.ModeMultiBags, 60)
 		fuzzOne(t, seed, Structured, detect.ModeMultiBagsPlus, 60)
 		parallelOne(t, seed, Structured, detect.ModeMultiBags, 60)
+		replayOne(t, seed, Structured, 60)
 	})
 }
 
@@ -97,5 +160,14 @@ func TestParallelMatchesSerialSeeds(t *testing.T) {
 	for seed := uint64(0); seed < 40; seed++ {
 		parallelOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
 		parallelOne(t, seed, Structured, detect.ModeMultiBags, 60)
+	}
+}
+
+// TestReplayMatchesDirectSeeds sweeps the record→replay→detect
+// differential (all three algorithms, Workers ∈ {1, 4}) the same way.
+func TestReplayMatchesDirectSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		replayOne(t, seed, General, 60)
+		replayOne(t, seed, Structured, 60)
 	}
 }

@@ -1,0 +1,63 @@
+package trace_test
+
+// External test package: the six-workload compression check needs
+// internal/workloads, which imports the root futurerd package, which in
+// turn imports internal/trace — an import cycle for in-package tests but
+// not for this one.
+
+import (
+	"testing"
+
+	"futurerd/internal/detect"
+	"futurerd/internal/trace"
+	"futurerd/internal/workloads"
+)
+
+// TestV2CompressionBeatsV1 is the format's size acceptance criterion:
+// for each of the six paper workloads, the v2 trace must be at least 3×
+// smaller than the equivalent v1 recording of the same program (the
+// uncoalesced, absolute-address legacy encoding).
+func TestV2CompressionBeatsV1(t *testing.T) {
+	for _, b := range workloads.All(workloads.SizeTest) {
+		w := b.Structured()
+		st, err := trace.StatOf(w.Run)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if r := st.Ratio(); r < 3 {
+			t.Errorf("%s: v2 %d bytes vs v1 %d bytes: ratio %.2fx < 3x",
+				b.Name, st.Bytes, st.V1Bytes, r)
+		}
+		t.Logf("%-10s v2=%7dB v1=%8dB ratio=%6.1fx bytes/event=%.2f",
+			b.Name, st.Bytes, st.V1Bytes, st.Ratio(), st.BytesPerEvent())
+	}
+}
+
+// TestWorkloadTraceRoundTrip replays every workload's v2 trace and
+// checks the verdict against direct detection — the workload-scale
+// counterpart of the progen differential.
+func TestWorkloadTraceRoundTrip(t *testing.T) {
+	for _, b := range workloads.All(workloads.SizeTest) {
+		raw, err := trace.RecordBytes(b.Structured().Run)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		cfg := detect.Config{Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull}
+		direct := detect.NewEngine(cfg).Run(b.Structured().Run)
+		rep, err := trace.ReplayBytes(raw, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if direct.Err != nil || rep.Err != nil {
+			t.Fatalf("%s: errs %v / %v", b.Name, direct.Err, rep.Err)
+		}
+		if len(direct.Races) != len(rep.Races) ||
+			direct.Stats.RaceCount != rep.Stats.RaceCount ||
+			direct.Stats.Strands != rep.Stats.Strands ||
+			direct.Stats.Shadow.Reads != rep.Stats.Shadow.Reads ||
+			direct.Stats.Shadow.Writes != rep.Stats.Shadow.Writes {
+			t.Fatalf("%s: replay diverges from direct detection:\ndirect %+v\nreplay %+v",
+				b.Name, direct.Stats, rep.Stats)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+// Format v2: encoder (the recording Executor) and decoder. See the
+// package documentation for the wire layout.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"futurerd/internal/detect"
+	"futurerd/internal/event"
+)
+
+// v2 structural opcodes (0x00–0x0F).
+const (
+	v2Invalid byte = iota // 0 guards zero-filled corruption
+	v2Spawn
+	v2Create
+	v2TaskEnd
+	v2Sync
+	v2Get    // zigzag id delta from the previously gotten id
+	v2Read   // zigzag addr delta; single word; delta enters the cache
+	v2Write  // must stay v2Read+1 (kind is carried arithmetically)
+	v2ReadN  // zigzag addr delta, uvarint word count
+	v2WriteN // must stay v2ReadN+1
+	v2Label  // uvarint byte length, label bytes
+)
+
+// Compact single-word access classes.
+//
+//   - small (1 byte): 0x10–0x41 carry the kind and a delta in [-12, 12]
+//     in the opcode byte itself — sequential and near-sequential scans.
+//   - medium (2 bytes): 0x42–0x7F carry the kind and the high delta bits;
+//     one operand byte carries the low 8 bits, covering [-3968, 3967] —
+//     the random-permutation accesses of pointer-chasing workloads, whose
+//     deltas rarely repeat but stay within the (small) live address range.
+//   - cached (1 byte): 0x80–0xFF reference one of the 64 most recent
+//     larger deltas per kind — the recurring strides of wavefront kernels.
+const (
+	smallBase = 0x10
+	smallSpan = 25 // per-kind values: delta in [-smallBias, smallSpan-smallBias)
+	smallBias = 12
+	medBase   = 0x42
+	medHi     = 31 // per-kind high-bit values; operand byte carries the low 8
+	medSpan   = medHi * 256
+	medBias   = medSpan / 2
+	cacheBase = 0x80
+	// cacheSlots is the per-kind delta-cache size; must be a power of two
+	// and fit the low bits of a cache-class opcode.
+	cacheSlots = 64
+)
+
+// blockTarget is the uncompressed size at which the writer closes a
+// block; maxBlock bounds what the reader will buffer (corruption guard).
+const (
+	blockTarget = 32 << 10
+	maxBlock    = 1 << 26
+)
+
+// maxLabel bounds recorded label bytes; maxWords bounds a decoded range
+// (corruption guard — real ranges are far smaller).
+const (
+	maxLabel = 1 << 12
+	maxWords = 1 << 40
+)
+
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// addrCoder is the per-kind address-compression state shared by encoder
+// and decoder: accesses encode as deltas from the end of the previous
+// same-kind access, and the cacheSlots most recent cache-missed deltas
+// sit in a round-robin cache, so periodic stride patterns (wavefront
+// kernels cycling through a handful of strides) cost one byte per
+// access. Deltas in the small-immediate range never enter the cache;
+// medium-class and varint-escape deltas do.
+type addrCoder struct {
+	lastEnd uint64
+	cache   [cacheSlots]int64
+	next    int
+}
+
+func (c *addrCoder) insert(d int64) {
+	c.cache[c.next] = d
+	c.next = (c.next + 1) & (cacheSlots - 1)
+}
+
+// addrEncoder adds the delta→slot index the encoder needs for lookups.
+type addrEncoder struct {
+	addrCoder
+	index map[int64]int
+}
+
+func (e *addrEncoder) insert(d int64) {
+	delete(e.index, e.cache[e.next])
+	e.index[d] = e.next
+	e.addrCoder.insert(d)
+}
+
+// recorder implements detect.Executor: it executes the program eagerly
+// on the calling goroutine (like the detection engine, minus detection)
+// and logs every event in format v2. Accesses pass through an
+// event.Batch first, so word-at-a-time scans reach the stream as range
+// events — the same coalescing the engine's detection pipeline applies.
+type recorder struct {
+	w    *bufio.Writer
+	raw  []byte       // open block, uncompressed
+	comp bytes.Buffer // flate scratch
+	fw   *flate.Writer
+
+	enc     [2]addrEncoder
+	batch   *event.Batch
+	futIDs  map[*detect.Fut]uint64
+	nextID  uint64
+	lastGot uint64
+	err     error
+}
+
+func newRecorder(w *bufio.Writer) *recorder {
+	r := &recorder{w: w, batch: event.New(), futIDs: make(map[*detect.Fut]uint64)}
+	for i := range r.enc {
+		r.enc[i].index = make(map[int64]int, cacheSlots)
+	}
+	// BestSpeed: the event encoding has already removed the numeric
+	// redundancy; flate mops up the residual byte-level repetition
+	// (structural opcode runs, recurring cache references).
+	r.fw, _ = flate.NewWriter(&r.comp, flate.BestSpeed)
+	return r
+}
+
+func (r *recorder) putByte(b byte) { r.raw = append(r.raw, b) }
+
+func (r *recorder) putUvarint(v uint64) { r.raw = binary.AppendUvarint(r.raw, v) }
+
+// endEvent closes the block when it has reached the target size; events
+// never span blocks.
+func (r *recorder) endEvent() {
+	if len(r.raw) >= blockTarget {
+		r.flushBlock()
+	}
+}
+
+func (r *recorder) flushBlock() {
+	if len(r.raw) == 0 || r.err != nil {
+		return
+	}
+	r.comp.Reset()
+	r.fw.Reset(&r.comp)
+	if _, err := r.fw.Write(r.raw); err != nil {
+		r.err = err
+		return
+	}
+	if err := r.fw.Close(); err != nil {
+		r.err = err
+		return
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(r.comp.Len()))
+	n += binary.PutUvarint(hdr[n:], uint64(len(r.raw)))
+	if _, err := r.w.Write(hdr[:n]); err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(r.comp.Bytes()); err != nil {
+		r.err = err
+		return
+	}
+	r.raw = r.raw[:0]
+}
+
+// finish flushes everything and writes the zero-length terminator block.
+func (r *recorder) finish() {
+	r.flushAccesses()
+	r.flushBlock()
+	if r.err == nil {
+		r.err = r.w.WriteByte(0)
+	}
+	event.Recycle(r.batch)
+	r.batch = nil
+}
+
+// flushAccesses encodes the buffered (coalesced) accesses. It runs at
+// every construct, so access events and construct events stay in program
+// order.
+func (r *recorder) flushAccesses() {
+	for i := range r.batch.Ops {
+		op := &r.batch.Ops[i]
+		r.encodeAccess(op.Kind, op.Addr, op.Words)
+	}
+	r.batch.Reset()
+}
+
+func (r *recorder) encodeAccess(k event.Kind, addr uint64, words int) {
+	kb := int(k)
+	e := &r.enc[kb]
+	d := int64(addr) - int64(e.lastEnd)
+	e.lastEnd = addr + uint64(words)
+	if words == 1 {
+		switch {
+		case d >= -smallBias && d < smallSpan-smallBias:
+			r.putByte(byte(smallBase + kb*smallSpan + int(d) + smallBias))
+		default:
+			if slot, ok := e.index[d]; ok {
+				r.putByte(byte(cacheBase | kb<<6 | slot))
+				break
+			}
+			if d >= -medBias && d < medSpan-medBias {
+				v := int(d) + medBias
+				r.putByte(byte(medBase + kb*medHi + v>>8))
+				r.putByte(byte(v))
+				e.insert(d) // a recurring medium stride upgrades to 1 byte
+				break
+			}
+			r.putByte(v2Read + byte(kb))
+			r.putUvarint(zigzag(d))
+			e.insert(d)
+		}
+	} else {
+		r.putByte(v2ReadN + byte(kb))
+		r.putUvarint(zigzag(d))
+		r.putUvarint(uint64(words))
+	}
+	r.endEvent()
+}
+
+// Spawn implements detect.Executor.
+func (r *recorder) Spawn(t *detect.Task, f func(*detect.Task)) {
+	r.flushAccesses()
+	r.putByte(v2Spawn)
+	r.endEvent()
+	f(detect.NewTask(r))
+	r.flushAccesses()
+	r.putByte(v2TaskEnd)
+	r.endEvent()
+}
+
+// Sync implements detect.Executor.
+func (r *recorder) Sync(*detect.Task) {
+	r.flushAccesses()
+	r.putByte(v2Sync)
+	r.endEvent()
+}
+
+// CreateFut implements detect.Executor. Ids are implicit: creation order
+// on both sides of the wire.
+func (r *recorder) CreateFut(t *detect.Task, body func(*detect.Task) any) *detect.Fut {
+	r.flushAccesses()
+	id := r.nextID
+	r.nextID++
+	r.putByte(v2Create)
+	r.endEvent()
+	h := &detect.Fut{}
+	h.Complete(body(detect.NewTask(r)))
+	r.flushAccesses()
+	r.putByte(v2TaskEnd)
+	r.endEvent()
+	r.futIDs[h] = id
+	return h
+}
+
+// GetFut implements detect.Executor. The operand is the zigzag delta
+// from the previously gotten id — traversal-ordered consumers get
+// near-previous futures, so the delta is a short varint.
+func (r *recorder) GetFut(t *detect.Task, h *detect.Fut) any {
+	r.flushAccesses()
+	// An unknown handle (zero Fut the recorder never created) targets the
+	// not-yet-created id nextID, so replay fails like detection would.
+	id := r.nextID
+	if known, ok := r.futIDs[h]; ok {
+		id = known
+	}
+	r.putByte(v2Get)
+	r.putUvarint(zigzag(int64(id) - int64(r.lastGot)))
+	r.lastGot = id
+	r.endEvent()
+	v, _ := h.Value()
+	return v
+}
+
+// Read implements detect.Executor.
+func (r *recorder) Read(t *detect.Task, addr uint64, words int) {
+	if r.batch.Append(event.Read, addr, words) >= event.MaxOps {
+		r.flushAccesses()
+	}
+}
+
+// Write implements detect.Executor.
+func (r *recorder) Write(t *detect.Task, addr uint64, words int) {
+	if r.batch.Append(event.Write, addr, words) >= event.MaxOps {
+		r.flushAccesses()
+	}
+}
+
+// Label records the strand label of the current task body (Task.Label
+// finds this method through its optional-capability check), so replayed
+// reports carry the same strand names as a direct run.
+func (r *recorder) Label(t *detect.Task, label string) {
+	r.flushAccesses()
+	if len(label) > maxLabel {
+		label = label[:maxLabel]
+	}
+	r.putByte(v2Label)
+	r.putUvarint(uint64(len(label)))
+	r.raw = append(r.raw, label...)
+	r.endEvent()
+}
+
+// v2Decoder streams a v2 trace one block at a time.
+type v2Decoder struct {
+	r    *bufio.Reader
+	fr   io.ReadCloser // flate reader, reused across blocks
+	raw  []byte
+	pos  int
+	comp []byte
+
+	dec     [2]addrCoder
+	creates uint64
+	lastGot uint64
+	done    bool
+}
+
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadTrace, fmt.Sprintf(format, args...))
+}
+
+// loadBlock reads and decompresses the next block; it reports false at
+// the terminator.
+func (d *v2Decoder) loadBlock() (bool, error) {
+	compLen, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return false, malformed("truncated block header: %v", err)
+	}
+	if compLen == 0 {
+		return false, nil
+	}
+	rawLen, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return false, malformed("truncated block header: %v", err)
+	}
+	if compLen > maxBlock || rawLen == 0 || rawLen > maxBlock {
+		return false, malformed("implausible block size (%d compressed, %d raw)", compLen, rawLen)
+	}
+	if uint64(cap(d.comp)) < compLen {
+		d.comp = make([]byte, compLen)
+	}
+	d.comp = d.comp[:compLen]
+	if _, err := io.ReadFull(d.r, d.comp); err != nil {
+		return false, malformed("truncated block: %v", err)
+	}
+	if d.fr == nil {
+		d.fr = flate.NewReader(bytes.NewReader(d.comp))
+	} else if err := d.fr.(flate.Resetter).Reset(bytes.NewReader(d.comp), nil); err != nil {
+		return false, malformed("flate reset: %v", err)
+	}
+	if uint64(cap(d.raw)) < rawLen {
+		d.raw = make([]byte, rawLen)
+	}
+	d.raw = d.raw[:rawLen]
+	if _, err := io.ReadFull(d.fr, d.raw); err != nil {
+		return false, malformed("block decompression: %v", err)
+	}
+	d.pos = 0
+	return true, nil
+}
+
+// uvarint decodes an in-block varint operand.
+func (d *v2Decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.raw[d.pos:])
+	if n <= 0 {
+		return 0, malformed("truncated varint operand")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *v2Decoder) next() (tev, error) {
+	for d.pos >= len(d.raw) {
+		if d.done {
+			return tev{kind: tevEOF}, nil
+		}
+		ok, err := d.loadBlock()
+		if err != nil {
+			return tev{}, err
+		}
+		if !ok {
+			d.done = true
+			return tev{kind: tevEOF}, nil
+		}
+	}
+	b := d.raw[d.pos]
+	d.pos++
+	switch {
+	case b >= cacheBase:
+		kb := int(b>>6) & 1
+		c := &d.dec[kb]
+		addr := uint64(int64(c.lastEnd) + c.cache[b&(cacheSlots-1)])
+		c.lastEnd = addr + 1
+		return tev{kind: tevRead + tevKind(kb), addr: addr, words: 1}, nil
+	case b >= medBase:
+		v := int(b) - medBase
+		kb := v / medHi
+		if d.pos >= len(d.raw) {
+			return tev{}, malformed("truncated medium-delta operand")
+		}
+		lo := int(d.raw[d.pos])
+		d.pos++
+		delta := int64(v%medHi<<8|lo) - medBias
+		c := &d.dec[kb]
+		addr := uint64(int64(c.lastEnd) + delta)
+		c.lastEnd = addr + 1
+		c.insert(delta)
+		return tev{kind: tevRead + tevKind(kb), addr: addr, words: 1}, nil
+	case b >= smallBase:
+		v := int(b) - smallBase
+		kb := v / smallSpan
+		c := &d.dec[kb]
+		addr := uint64(int64(c.lastEnd) + int64(v%smallSpan) - smallBias)
+		c.lastEnd = addr + 1
+		return tev{kind: tevRead + tevKind(kb), addr: addr, words: 1}, nil
+	}
+	switch b {
+	case v2Spawn:
+		return tev{kind: tevSpawn}, nil
+	case v2Create:
+		id := d.creates
+		d.creates++
+		return tev{kind: tevCreate, id: id}, nil
+	case v2TaskEnd:
+		return tev{kind: tevTaskEnd}, nil
+	case v2Sync:
+		return tev{kind: tevSync}, nil
+	case v2Get:
+		u, err := d.uvarint()
+		if err != nil {
+			return tev{}, err
+		}
+		id := uint64(int64(d.lastGot) + unzigzag(u))
+		d.lastGot = id
+		if id >= d.creates {
+			id = ^uint64(0) // not (yet) created: replay fails like detection would
+		}
+		return tev{kind: tevGet, id: id}, nil
+	case v2Read, v2Write:
+		kb := int(b - v2Read)
+		u, err := d.uvarint()
+		if err != nil {
+			return tev{}, err
+		}
+		delta := unzigzag(u)
+		c := &d.dec[kb]
+		addr := uint64(int64(c.lastEnd) + delta)
+		c.lastEnd = addr + 1
+		c.insert(delta)
+		return tev{kind: tevRead + tevKind(kb), addr: addr, words: 1}, nil
+	case v2ReadN, v2WriteN:
+		kb := int(b - v2ReadN)
+		u, err := d.uvarint()
+		if err != nil {
+			return tev{}, err
+		}
+		w, err := d.uvarint()
+		if err != nil {
+			return tev{}, err
+		}
+		if w == 0 || w > maxWords {
+			return tev{}, malformed("implausible range of %d words", w)
+		}
+		c := &d.dec[kb]
+		addr := uint64(int64(c.lastEnd) + unzigzag(u))
+		c.lastEnd = addr + w
+		return tev{kind: tevRead + tevKind(kb), addr: addr, words: int(w)}, nil
+	case v2Label:
+		n, err := d.uvarint()
+		if err != nil {
+			return tev{}, err
+		}
+		if n > maxLabel || d.pos+int(n) > len(d.raw) {
+			return tev{}, malformed("label of %d bytes overruns its block", n)
+		}
+		s := string(d.raw[d.pos : d.pos+int(n)])
+		d.pos += int(n)
+		return tev{kind: tevLabel, label: s}, nil
+	}
+	return tev{}, malformed("unknown opcode %#02x", b)
+}

@@ -3,24 +3,50 @@
 // binary event stream, and replays such streams through the detection
 // engine. Recording runs the real program once (sequentially, eagerly,
 // with near-zero overhead); a replay re-detects races under any
-// algorithm without re-running user code. This mirrors how FutureRD is
-// an instrumentation stream consumer (§6 "Implementation"), and gives
-// the library offline analysis and shareable regression corpora.
+// algorithm and worker count without re-running user code. This mirrors
+// how FutureRD is an instrumentation stream consumer (§6
+// "Implementation"), and gives the library offline analysis and
+// shareable regression corpora.
 //
-// Format: a magic header, then one event per construct or access:
+// # Format v2
 //
-//	[1-byte opcode][uvarint operands...]
+// Record writes format v2 ("FUTRD2\n"): the recorder routes accesses
+// through the same event-batch layer the engine uses (internal/event),
+// so contiguous word accesses coalesce into range events before they are
+// encoded, and the encoded stream is framed into length-prefixed,
+// DEFLATE-compressed blocks so readers stream one block at a time.
+// Inside a block, events are
 //
-// Because both the recorder and the detection engine execute in
-// depth-first eager order, task nesting is implicit in event order:
-// a spawn/create opcode is followed by the child's complete event
-// subsequence and a task-end opcode, so replay is a recursive descent.
+//	opcode      operands                      meaning
+//	0x01        —                             spawn (child events follow, then task-end)
+//	0x02        —                             create_fut (id implicit: creation order)
+//	0x03        —                             task end
+//	0x04        —                             sync
+//	0x05        zigzag Δid                    get_fut (delta from the previously gotten id)
+//	0x06/0x07   zigzag Δaddr                  1-word read/write (Δ inserted in cache)
+//	0x08/0x09   zigzag Δaddr, uvarint words   range read/write
+//	0x0A        uvarint len, bytes            strand label for the current task
+//	0x10–0x41   —                             1-word access, kind + Δaddr ∈ [-12,12] in the opcode
+//	0x42–0x7F   low byte                      1-word access, kind + Δaddr ∈ [-3968,3967] in 2 bytes
+//	0x80–0xFF   —                             1-word access, kind + Δaddr from the delta cache
+//
+// Addresses are delta-encoded against the end of the previous access of
+// the same kind, and the 64 most recent cache-missed larger deltas per
+// kind are kept in a round-robin cache, so the periodic stride patterns
+// of wavefront kernels cost one byte per access. Task nesting is implicit
+// in event order (a spawn/create is followed by the child's complete
+// subsequence and a task-end), and replay drives the engine's
+// BeginSpawn/EndSpawn construct API from an explicit stack, so arbitrary
+// spawn depth costs no Go stack.
+//
+// Replay also accepts the legacy v1 format ("FUTRD1\n": one byte opcode
+// plus absolute uvarint operands per event, no labels, no framing);
+// RecordV1 still writes it for migration tooling and size comparisons.
 package trace
 
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -28,109 +54,71 @@ import (
 	"futurerd/internal/detect"
 )
 
-// Opcodes.
-const (
-	opSpawn   byte = 1 // followed by the child's events, then opTaskEnd
-	opCreate  byte = 2 // uvarint future id; then child's events, opTaskEnd
-	opTaskEnd byte = 3
-	opSync    byte = 4
-	opGet     byte = 5 // uvarint future id
-	opRead    byte = 6 // uvarint addr, uvarint word count
-	opWrite   byte = 7 // uvarint addr, uvarint word count
-	opEOF     byte = 8
+// Stream magics, one per format version.
+var (
+	magicV1 = []byte("FUTRD1\n")
+	magicV2 = []byte("FUTRD2\n")
 )
-
-// magic identifies trace streams and their version.
-var magic = []byte("FUTRD1\n")
 
 // ErrBadTrace reports a malformed or truncated stream.
 var ErrBadTrace = errors.New("trace: malformed event stream")
 
-// recorder implements detect.Executor: it executes the program eagerly on
-// the calling goroutine (like the detection engine, minus detection) and
-// logs every event.
-type recorder struct {
-	w      *bufio.Writer
-	futIDs map[*detect.Fut]uint64
-	nextID uint64
-	err    error
+// tevKind enumerates the canonical replay events every format decodes to.
+type tevKind uint8
+
+const (
+	tevEOF tevKind = iota
+	tevSpawn
+	tevCreate // id
+	tevTaskEnd
+	tevSync
+	tevGet // id
+	tevRead
+	tevWrite // must stay tevRead+1: decoders compute kind arithmetically
+	tevLabel
+)
+
+// tev is one decoded event.
+type tev struct {
+	kind  tevKind
+	id    uint64
+	addr  uint64
+	words int
+	label string
 }
 
-func (r *recorder) emit(op byte, args ...uint64) {
-	if r.err != nil {
-		return
+// decoder yields the event stream of one format.
+type decoder interface {
+	next() (tev, error)
+}
+
+// newDecoder sniffs the magic and returns the matching format decoder.
+func newDecoder(br *bufio.Reader) (decoder, error) {
+	head := make([]byte, len(magicV2))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
 	}
-	if err := r.w.WriteByte(op); err != nil {
-		r.err = err
-		return
+	switch {
+	case bytes.Equal(head, magicV2):
+		return &v2Decoder{r: br}, nil
+	case bytes.Equal(head, magicV1):
+		return &v1Decoder{r: br}, nil
 	}
-	var buf [binary.MaxVarintLen64]byte
-	for _, a := range args {
-		n := binary.PutUvarint(buf[:], a)
-		if _, err := r.w.Write(buf[:n]); err != nil {
-			r.err = err
-			return
-		}
-	}
-}
-
-// Spawn implements detect.Executor.
-func (r *recorder) Spawn(t *detect.Task, f func(*detect.Task)) {
-	r.emit(opSpawn)
-	f(detect.NewTask(r))
-	r.emit(opTaskEnd)
-}
-
-// Sync implements detect.Executor.
-func (r *recorder) Sync(*detect.Task) { r.emit(opSync) }
-
-// CreateFut implements detect.Executor.
-func (r *recorder) CreateFut(t *detect.Task, body func(*detect.Task) any) *detect.Fut {
-	id := r.nextID
-	r.nextID++
-	r.emit(opCreate, id)
-	h := &detect.Fut{}
-	h.Complete(body(detect.NewTask(r)))
-	r.emit(opTaskEnd)
-	r.futIDs[h] = id
-	return h
-}
-
-// GetFut implements detect.Executor.
-func (r *recorder) GetFut(t *detect.Task, h *detect.Fut) any {
-	id, ok := r.futIDs[h]
-	if !ok {
-		// A handle the recorder never created (zero Fut): record an
-		// impossible id so replay fails the same way detection would.
-		id = ^uint64(0)
-	}
-	r.emit(opGet, id)
-	v, _ := h.Value()
-	return v
-}
-
-// Read implements detect.Executor.
-func (r *recorder) Read(t *detect.Task, addr uint64, words int) {
-	r.emit(opRead, addr, uint64(words))
-}
-
-// Write implements detect.Executor.
-func (r *recorder) Write(t *detect.Task, addr uint64, words int) {
-	r.emit(opWrite, addr, uint64(words))
+	return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
 }
 
 // Record executes root sequentially (eager futures, no detection) and
-// writes its event stream to w.
+// writes its event stream to w in format v2.
 func Record(w io.Writer, root func(*detect.Task)) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic); err != nil {
+	if _, err := bw.Write(magicV2); err != nil {
 		return err
 	}
-	rec := &recorder{w: bw, futIDs: make(map[*detect.Fut]uint64)}
-	root(detect.NewTask(rec))
-	rec.emit(opEOF)
-	if rec.err != nil {
-		return rec.err
+	r := newRecorder(bw)
+	root(detect.NewTask(r))
+	r.finish()
+	if r.err != nil {
+		return r.err
 	}
 	return bw.Flush()
 }
@@ -144,86 +132,20 @@ func RecordBytes(root func(*detect.Task)) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// parser reads events.
-type parser struct {
-	r   *bufio.Reader
-	err error
-}
-
-func (p *parser) op() byte {
-	if p.err != nil {
-		return opEOF
-	}
-	b, err := p.r.ReadByte()
-	if err != nil {
-		p.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
-		return opEOF
-	}
-	return b
-}
-
-func (p *parser) arg() uint64 {
-	if p.err != nil {
-		return 0
-	}
-	v, err := binary.ReadUvarint(p.r)
-	if err != nil {
-		p.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
-	}
-	return v
-}
-
-// Replay runs the event stream through a detection engine configured by
-// cfg and returns its report.
+// Replay runs the event stream (format v1 or v2) through a detection
+// engine configured by cfg and returns its report. Replaying a trace
+// yields exactly the same report as detecting the original program, for
+// any algorithm and worker count.
 func Replay(r io.Reader, cfg detect.Config) (*detect.Report, error) {
-	p := &parser{r: bufio.NewReader(r)}
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(p.r, head); err != nil || !bytes.Equal(head, magic) {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	dec, err := newDecoder(bufio.NewReader(r))
+	if err != nil {
+		return nil, err
 	}
-	futs := make(map[uint64]*detect.Fut)
-	var replayTask func(t *detect.Task) bool // false on malformed stream
-	replayTask = func(t *detect.Task) bool {
-		for {
-			switch op := p.op(); op {
-			case opSpawn:
-				ok := true
-				t.Spawn(func(c *detect.Task) { ok = replayTask(c) })
-				if !ok {
-					return false
-				}
-			case opCreate:
-				id := p.arg()
-				ok := true
-				futs[id] = t.CreateFut(func(c *detect.Task) any {
-					ok = replayTask(c)
-					return nil
-				})
-				if !ok {
-					return false
-				}
-			case opSync:
-				t.Sync()
-			case opGet:
-				t.GetFut(futs[p.arg()])
-			case opRead:
-				addr := p.arg()
-				t.ReadRange(addr, int(p.arg()))
-			case opWrite:
-				addr := p.arg()
-				t.WriteRange(addr, int(p.arg()))
-			case opTaskEnd, opEOF:
-				return p.err == nil
-			default:
-				p.err = fmt.Errorf("%w: unknown opcode %d", ErrBadTrace, op)
-				return false
-			}
-		}
-	}
-	var ok bool
-	rep := detect.NewEngine(cfg).Run(func(t *detect.Task) { ok = replayTask(t) })
-	if !ok && rep.Err == nil {
-		return nil, p.err
+	var derr error
+	eng := detect.NewEngine(cfg)
+	rep := eng.Run(func(t *detect.Task) { derr = replayEvents(eng, t, dec) })
+	if derr != nil && rep.Err == nil {
+		return nil, derr
 	}
 	return rep, nil
 }
@@ -231,4 +153,66 @@ func Replay(r io.Reader, cfg detect.Config) (*detect.Report, error) {
 // ReplayBytes is Replay over an in-memory stream.
 func ReplayBytes(b []byte, cfg detect.Config) (*detect.Report, error) {
 	return Replay(bytes.NewReader(b), cfg)
+}
+
+// replayEvents drives the engine through the decoded event stream
+// iteratively: task nesting lives on an explicit frame stack (via the
+// engine's BeginSpawn/EndSpawn and BeginFut/EndFut construct API), so a
+// spawn chain of any depth replays in constant Go stack.
+func replayEvents(e *detect.Engine, root *detect.Task, dec decoder) error {
+	type frame struct {
+		t   *detect.Task
+		h   *detect.Fut
+		fut bool
+	}
+	var stack []frame
+	cur := root
+	futs := make(map[uint64]*detect.Fut)
+	for {
+		v, err := dec.next()
+		if err != nil {
+			return err
+		}
+		switch v.kind {
+		case tevSpawn:
+			child := e.BeginSpawn(cur)
+			stack = append(stack, frame{t: cur})
+			cur = child
+		case tevCreate:
+			child, h := e.BeginFut(cur)
+			futs[v.id] = h
+			stack = append(stack, frame{t: cur, h: h, fut: true})
+			cur = child
+		case tevTaskEnd:
+			if len(stack) == 0 {
+				return fmt.Errorf("%w: task end with no open task", ErrBadTrace)
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f.fut {
+				e.EndFut(f.t, cur, f.h, nil)
+			} else {
+				e.EndSpawn(f.t, cur)
+			}
+			cur = f.t
+		case tevSync:
+			cur.Sync()
+		case tevGet:
+			// A missing id yields a nil handle; GetFut fails the run with
+			// ErrFutureNotReady, matching what detection of the original
+			// (non-forward-pointing) program would report.
+			cur.GetFut(futs[v.id])
+		case tevRead:
+			cur.ReadRange(v.addr, v.words)
+		case tevWrite:
+			cur.WriteRange(v.addr, v.words)
+		case tevLabel:
+			cur.Label(v.label)
+		case tevEOF:
+			if len(stack) != 0 {
+				return fmt.Errorf("%w: stream ends with %d unterminated tasks", ErrBadTrace, len(stack))
+			}
+			return nil
+		}
+	}
 }

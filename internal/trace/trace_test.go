@@ -2,7 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"os"
+	"path/filepath"
+	"runtime/debug"
 	"testing"
 
 	"futurerd/internal/detect"
@@ -10,9 +14,11 @@ import (
 )
 
 // prog is a small future program with one race (addr 5) and one ordered
-// pair (addr 6).
+// pair (addr 6), plus labels on the racing bodies.
 func prog(t *detect.Task) {
+	t.Label("main")
 	h := t.CreateFut(func(ft *detect.Task) any {
+		ft.Label("producer")
 		ft.Write(5)
 		ft.Write(6)
 		return 7
@@ -29,7 +35,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(raw) == 0 || !bytes.HasPrefix(raw, magic) {
+	if len(raw) == 0 || !bytes.HasPrefix(raw, magicV2) {
 		t.Fatal("bad stream framing")
 	}
 	rep, err := ReplayBytes(raw, detect.Config{
@@ -40,6 +46,32 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	}
 	if len(rep.Races) != 1 || rep.Races[0].Addr != 5 {
 		t.Fatalf("replay races = %v, want one race on addr 5", rep.Races)
+	}
+}
+
+// TestReplayCarriesLabels: the v2 stream records Task.Label calls, so a
+// replayed report names the racing strands exactly like a direct run —
+// the v1 recorder dropped them.
+func TestReplayCarriesLabels(t *testing.T) {
+	cfg := detect.Config{Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull}
+	direct := detect.NewEngine(cfg).Run(prog)
+	raw, err := RecordBytes(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayBytes(raw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Races) != 1 || len(replayed.Races) != 1 {
+		t.Fatalf("race counts: direct %d, replay %d", len(direct.Races), len(replayed.Races))
+	}
+	d, r := direct.Races[0], replayed.Races[0]
+	if d.PrevLabel == "" || d.CurrLabel == "" {
+		t.Fatalf("direct run lost its labels: %+v", d)
+	}
+	if d != r {
+		t.Fatalf("replayed race differs:\ndirect %+v\nreplay %+v", d, r)
 	}
 }
 
@@ -132,16 +164,44 @@ func TestReplayRejectsGarbage(t *testing.T) {
 	if _, err := ReplayBytes(raw[:len(raw)-3], detect.Config{Mode: detect.ModeOracle}); err == nil {
 		t.Fatal("truncated stream accepted")
 	}
-	// Unknown opcode.
-	bad := append(append([]byte{}, magic...), 0xEE)
+	// Terminator block without the events that close open tasks.
+	bad := append(append([]byte{}, magicV2...), 0)
+	bad[len(magicV2)-3] = 'X'
 	if _, err := ReplayBytes(bad, detect.Config{Mode: detect.ModeOracle}); !errors.Is(err, ErrBadTrace) {
-		t.Fatalf("unknown opcode: err = %v", err)
+		t.Fatalf("corrupt magic: err = %v", err)
+	}
+	// An unknown opcode inside a well-framed block.
+	var blk bytes.Buffer
+	blk.Write(magicV2)
+	payload := encodeTestBlock(t, []byte{v2Invalid})
+	blk.Write(payload)
+	blk.WriteByte(0)
+	if _, err := ReplayBytes(blk.Bytes(), detect.Config{Mode: detect.ModeOracle}); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("invalid opcode: err = %v", err)
 	}
 }
 
+// encodeTestBlock frames raw event bytes as one v2 block (flate +
+// length prefixes), for tests that hand-build streams.
+func encodeTestBlock(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	r := newRecorder(nil)
+	r.comp.Reset()
+	r.fw.Reset(&r.comp)
+	if _, err := r.fw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := binary.AppendUvarint(nil, uint64(r.comp.Len()))
+	out = binary.AppendUvarint(out, uint64(len(raw)))
+	return append(out, r.comp.Bytes()...)
+}
+
 func TestTraceCompactness(t *testing.T) {
-	// A loop of n accesses must stay O(n) bytes with small constants
-	// (one opcode + short varints per access).
+	// A loop of n sequential accesses coalesces into a single range
+	// event; the whole trace must stay within a few dozen bytes.
 	raw, err := RecordBytes(func(t *detect.Task) {
 		for i := 0; i < 1000; i++ {
 			t.Write(uint64(i))
@@ -150,7 +210,209 @@ func TestTraceCompactness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(raw) > 1000*4+len(magic)+2 {
-		t.Fatalf("trace too fat: %d bytes for 1000 events", len(raw))
+	if len(raw) > 64 {
+		t.Fatalf("trace too fat: %d bytes for a coalescible 1000-word scan", len(raw))
+	}
+	// Alternating accesses to far-apart arrays cannot coalesce (the
+	// kernel-loop shape: read two inputs, write an output); after the
+	// delta cache warms up on the recurring strides they must still
+	// average ~1 byte per access.
+	raw, err = RecordBytes(func(t *detect.Task) {
+		for i := 0; i < 1000; i++ {
+			t.Read(uint64(1 + i))
+			t.Read(uint64(100000 + i))
+			t.Write(uint64(500000 + i*7))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) > 3000/2 {
+		t.Fatalf("trace too fat: %d bytes for 3000 strided accesses", len(raw))
+	}
+}
+
+// TestDeepSpawnChainReplaysIteratively is the regression test for the
+// recursive replayTask of the v1 reader: a 100k-deep spawn chain must
+// replay in constant Go stack. The stack cap makes a recursive replay
+// (≳ depth × frame size) fatal rather than silently fine on a machine
+// with a big default limit; both formats are exercised.
+func TestDeepSpawnChainReplaysIteratively(t *testing.T) {
+	const depth = 100_000
+	old := debug.SetMaxStack(4 << 20)
+	defer debug.SetMaxStack(old)
+
+	// v2: hand-framed event bytes (a recursive recorder would need the
+	// very stack this test takes away).
+	var payload []byte
+	for i := 0; i < depth; i++ {
+		payload = append(payload, v2Spawn)
+	}
+	payload = append(payload, v2Write)
+	payload = binary.AppendUvarint(payload, zigzag(1))
+	for i := 0; i < depth; i++ {
+		payload = append(payload, v2TaskEnd)
+	}
+	var v2buf bytes.Buffer
+	v2buf.Write(magicV2)
+	v2buf.Write(encodeTestBlock(t, payload))
+	v2buf.WriteByte(0)
+
+	// v1 equivalent.
+	var v1buf bytes.Buffer
+	v1buf.Write(magicV1)
+	for i := 0; i < depth; i++ {
+		v1buf.WriteByte(v1Spawn)
+	}
+	v1buf.WriteByte(v1Write)
+	v1buf.Write(binary.AppendUvarint(nil, 1))
+	v1buf.Write(binary.AppendUvarint(nil, 1))
+	for i := 0; i < depth; i++ {
+		v1buf.WriteByte(v1TaskEnd)
+	}
+	v1buf.WriteByte(v1EOF)
+
+	for name, raw := range map[string][]byte{"v2": v2buf.Bytes(), "v1": v1buf.Bytes()} {
+		rep, err := ReplayBytes(raw, detect.Config{Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", name, rep.Err)
+		}
+		if rep.Stats.Spawns != depth {
+			t.Fatalf("%s: replayed %d spawns, want %d", name, rep.Stats.Spawns, depth)
+		}
+	}
+}
+
+// TestGoldenV1Fixture proves the migration reader still decodes a trace
+// recorded by the original v1 recorder: the committed fixture must keep
+// replaying with the same verdicts forever, whatever happens to the
+// current writer.
+func TestGoldenV1Fixture(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "v1_golden.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, magicV1) {
+		t.Fatal("fixture is not a v1 stream")
+	}
+	rep, err := ReplayBytes(raw, detect.Config{Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) != 1 || rep.Races[0].Addr != 5 {
+		t.Fatalf("fixture races = %v, want one race on addr 5", rep.Races)
+	}
+	if rep.Races[0].PrevLabel != "" {
+		t.Fatal("v1 fixtures cannot carry labels; reader invented one")
+	}
+	if rep.Stats.Creates != 1 || rep.Stats.Spawns != 1 {
+		t.Fatalf("fixture structure: %+v", rep.Stats)
+	}
+}
+
+// TestV1RecorderRoundTrip keeps the legacy writer usable for migration
+// tooling: a fresh v1 recording must replay with the same verdicts as a
+// v2 recording of the same program.
+func TestV1RecorderRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		p := progen.Generate(seed, progen.Options{Dialect: progen.General})
+		cfg := detect.Config{Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull}
+		v1raw, err := RecordBytesV1(p.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2raw, err := RecordBytes(p.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := ReplayBytes(v1raw, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: v1 replay: %v", seed, err)
+		}
+		r2, err := ReplayBytes(v2raw, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: v2 replay: %v", seed, err)
+		}
+		if len(r1.Races) != len(r2.Races) || r1.Stats.RaceCount != r2.Stats.RaceCount {
+			t.Fatalf("seed %d: v1 %d/%d races vs v2 %d/%d", seed,
+				len(r1.Races), r1.Stats.RaceCount, len(r2.Races), r2.Stats.RaceCount)
+		}
+		for i := range r1.Races {
+			if r1.Races[i] != r2.Races[i] {
+				t.Fatalf("seed %d: race %d: v1 %v vs v2 %v", seed, i, r1.Races[i], r2.Races[i])
+			}
+		}
+	}
+}
+
+// TestStatCountsEvents pins the Stat summary on a known program.
+func TestStatCountsEvents(t *testing.T) {
+	raw, err := RecordBytes(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Stat(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 2 || st.Bytes != int64(len(raw)) {
+		t.Fatalf("version/bytes: %+v (stream is %d bytes)", st, len(raw))
+	}
+	if st.Spawns != 1 || st.Creates != 1 || st.Gets != 1 || st.Labels != 2 {
+		t.Fatalf("structural counts: %+v", st)
+	}
+	// Five accessed words in four events: the future's writes to 5 and 6
+	// coalesce into one range.
+	if st.Words != 5 || st.Accesses != 4 {
+		t.Fatalf("Words/Accesses = %d/%d, want 5/4", st.Words, st.Accesses)
+	}
+	v1raw, err := RecordBytesV1(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1st, err := Stat(bytes.NewReader(v1raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1st.Version != 1 || v1st.V1Bytes != int64(len(v1raw)) {
+		t.Fatalf("v1 stat must reproduce its own size: %+v vs %d bytes", v1st, len(v1raw))
+	}
+}
+
+// TestBlockFramingSpansBlocks forces multi-block streams and checks the
+// decoder's cross-block state (delta caches, create counter) survives.
+func TestBlockFramingSpansBlocks(t *testing.T) {
+	big := func(t *detect.Task) {
+		for i := 0; i < 200_000; i++ {
+			// Three strides that never coalesce: fills blocks fast.
+			t.Read(uint64(1 + i))
+			t.Read(uint64(1_000_000 + i*3))
+			t.Write(uint64(9_000_000 + i*5))
+		}
+	}
+	raw, err := RecordBytes(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Stat(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses != 600_000 {
+		t.Fatalf("accesses = %d, want 600000", st.Accesses)
+	}
+	cfg := detect.Config{Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull}
+	direct := detect.NewEngine(cfg).Run(big)
+	rep, err := ReplayBytes(raw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Shadow.Reads != direct.Stats.Shadow.Reads ||
+		rep.Stats.Shadow.Writes != direct.Stats.Shadow.Writes {
+		t.Fatalf("replay shadow traffic diverged: %+v vs %+v",
+			rep.Stats.Shadow, direct.Stats.Shadow)
 	}
 }

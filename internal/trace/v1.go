@@ -1,0 +1,182 @@
+// Legacy format v1: one byte opcode plus absolute uvarint operands per
+// event, no labels, no framing, no compression. Replay still accepts it
+// (newDecoder sniffs the magic) so existing corpora keep working, and
+// RecordV1 still writes it — for migration tooling, for golden-fixture
+// tests, and as the size yardstick the v2 compression ratio is measured
+// against.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+
+	"futurerd/internal/detect"
+)
+
+// v1 opcodes.
+const (
+	v1Spawn   byte = 1 // followed by the child's events, then v1TaskEnd
+	v1Create  byte = 2 // uvarint future id; then child's events, v1TaskEnd
+	v1TaskEnd byte = 3
+	v1Sync    byte = 4
+	v1Get     byte = 5 // uvarint future id
+	v1Read    byte = 6 // uvarint addr, uvarint word count
+	v1Write   byte = 7 // uvarint addr, uvarint word count
+	v1EOF     byte = 8
+)
+
+// v1Recorder implements detect.Executor for the legacy format: every
+// access is logged 1:1 (no coalescing), addresses are absolute, and
+// labels are dropped — the v1 limitations v2 exists to fix.
+type v1Recorder struct {
+	w      *bufio.Writer
+	futIDs map[*detect.Fut]uint64
+	nextID uint64
+	err    error
+}
+
+func (r *v1Recorder) emit(op byte, args ...uint64) {
+	if r.err != nil {
+		return
+	}
+	if err := r.w.WriteByte(op); err != nil {
+		r.err = err
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, a := range args {
+		n := binary.PutUvarint(buf[:], a)
+		if _, err := r.w.Write(buf[:n]); err != nil {
+			r.err = err
+			return
+		}
+	}
+}
+
+// Spawn implements detect.Executor.
+func (r *v1Recorder) Spawn(t *detect.Task, f func(*detect.Task)) {
+	r.emit(v1Spawn)
+	f(detect.NewTask(r))
+	r.emit(v1TaskEnd)
+}
+
+// Sync implements detect.Executor.
+func (r *v1Recorder) Sync(*detect.Task) { r.emit(v1Sync) }
+
+// CreateFut implements detect.Executor.
+func (r *v1Recorder) CreateFut(t *detect.Task, body func(*detect.Task) any) *detect.Fut {
+	id := r.nextID
+	r.nextID++
+	r.emit(v1Create, id)
+	h := &detect.Fut{}
+	h.Complete(body(detect.NewTask(r)))
+	r.emit(v1TaskEnd)
+	r.futIDs[h] = id
+	return h
+}
+
+// GetFut implements detect.Executor.
+func (r *v1Recorder) GetFut(t *detect.Task, h *detect.Fut) any {
+	id, ok := r.futIDs[h]
+	if !ok {
+		// A handle the recorder never created (zero Fut): record an
+		// impossible id so replay fails the same way detection would.
+		id = ^uint64(0)
+	}
+	r.emit(v1Get, id)
+	v, _ := h.Value()
+	return v
+}
+
+// Read implements detect.Executor.
+func (r *v1Recorder) Read(t *detect.Task, addr uint64, words int) {
+	r.emit(v1Read, addr, uint64(words))
+}
+
+// Write implements detect.Executor.
+func (r *v1Recorder) Write(t *detect.Task, addr uint64, words int) {
+	r.emit(v1Write, addr, uint64(words))
+}
+
+// RecordV1 executes root sequentially (eager futures, no detection) and
+// writes its event stream to w in the legacy v1 format.
+func RecordV1(w io.Writer, root func(*detect.Task)) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicV1); err != nil {
+		return err
+	}
+	rec := &v1Recorder{w: bw, futIDs: make(map[*detect.Fut]uint64)}
+	root(detect.NewTask(rec))
+	rec.emit(v1EOF)
+	if rec.err != nil {
+		return rec.err
+	}
+	return bw.Flush()
+}
+
+// RecordBytesV1 is RecordV1 into a fresh buffer.
+func RecordBytesV1(root func(*detect.Task)) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := RecordV1(&buf, root); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// v1Decoder adapts the legacy stream to the canonical event sequence.
+type v1Decoder struct {
+	r *bufio.Reader
+}
+
+func (d *v1Decoder) arg() (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, malformed("truncated operand: %v", err)
+	}
+	return v, nil
+}
+
+func (d *v1Decoder) next() (tev, error) {
+	op, err := d.r.ReadByte()
+	if err != nil {
+		return tev{}, malformed("truncated stream: %v", err)
+	}
+	switch op {
+	case v1Spawn:
+		return tev{kind: tevSpawn}, nil
+	case v1Create:
+		id, err := d.arg()
+		if err != nil {
+			return tev{}, err
+		}
+		return tev{kind: tevCreate, id: id}, nil
+	case v1TaskEnd:
+		return tev{kind: tevTaskEnd}, nil
+	case v1Sync:
+		return tev{kind: tevSync}, nil
+	case v1Get:
+		id, err := d.arg()
+		if err != nil {
+			return tev{}, err
+		}
+		return tev{kind: tevGet, id: id}, nil
+	case v1Read, v1Write:
+		addr, err := d.arg()
+		if err != nil {
+			return tev{}, err
+		}
+		w, err := d.arg()
+		if err != nil {
+			return tev{}, err
+		}
+		if w > maxWords {
+			return tev{}, malformed("implausible range of %d words", w)
+		}
+		return tev{kind: tevRead + tevKind(op-v1Read), addr: addr, words: int(w)}, nil
+	case v1EOF:
+		return tev{kind: tevEOF}, nil
+	}
+	return tev{}, malformed("unknown opcode %d", op)
+}

@@ -290,6 +290,43 @@ func BenchmarkAccessHistoryRangeWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchCap sweeps the event-batch op cap (Config.BatchOps)
+// under a non-coalescible single-word access storm — the only traffic
+// shape the cap governs, since coalescing scans stay one op — with the
+// asynchronous back-end consuming mid-window flushes. cap=0 is the
+// shipped default (event.MaxOps).
+func BenchmarkBatchCap(b *testing.B) {
+	const n = 200_000
+	prog := func(t *futurerd.Task) {
+		t.Spawn(func(c *futurerd.Task) {
+			for i := 0; i < n; i++ {
+				c.Write(uint64(1 + 2*i)) // stride 2: never coalesces
+			}
+		})
+		t.Sync()
+		for i := 0; i < n; i++ {
+			t.Read(uint64(1 + 2*i))
+		}
+	}
+	for _, cap := range []int{0, 1024, 4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := futurerd.Detect(futurerd.Config{
+					Mode: futurerd.ModeMultiBags, Mem: futurerd.MemFull, Workers: 2,
+					BatchOps: cap,
+				}, prog)
+				if rep.Err != nil {
+					b.Fatal(rep.Err)
+				}
+				if rep.Racy() {
+					b.Fatal("unexpected race")
+				}
+			}
+			b.ReportMetric(float64(2*n), "words/op")
+		})
+	}
+}
+
 // BenchmarkRecord measures trace-recording throughput: one workload run
 // through the v2 recorder (coalescing batcher + delta encoding + DEFLATE
 // block framing) per iteration.

@@ -52,25 +52,26 @@ func counterRow(m *bench.Measurement) map[string]uint64 {
 	}
 	s := m.Stats
 	return map[string]uint64{
-		"spawns":         s.Spawns,
-		"creates":        s.Creates,
-		"gets":           s.Gets,
-		"syncs":          s.Syncs,
-		"strands":        uint64(s.Strands),
-		"functions":      uint64(s.Functions),
-		"races":          s.RaceCount,
-		"reach.queries":  s.Reach.Queries,
-		"reach.finds":    s.Reach.Finds,
-		"reach.unions":   s.Reach.Unions,
-		"reach.attached": s.Reach.AttachedSets,
-		"reach.rarcs":    s.Reach.RArcs,
-		"shadow.reads":   s.Shadow.Reads,
-		"shadow.writes":  s.Shadow.Writes,
-		"shadow.appends": s.Shadow.ReaderAppends,
-		"shadow.flushes": s.Shadow.ReaderFlushes,
-		"shadow.pages":   s.Shadow.TouchedPages,
-		"shadow.owned":   s.Shadow.OwnedSkips,
-		"shadow.memo":    s.Shadow.MemoHits,
+		"spawns":            s.Spawns,
+		"creates":           s.Creates,
+		"gets":              s.Gets,
+		"syncs":             s.Syncs,
+		"strands":           uint64(s.Strands),
+		"functions":         uint64(s.Functions),
+		"races":             s.RaceCount,
+		"reach.queries":     s.Reach.Queries,
+		"reach.finds":       s.Reach.Finds,
+		"reach.unions":      s.Reach.Unions,
+		"reach.attached":    s.Reach.AttachedSets,
+		"reach.rarcs":       s.Reach.RArcs,
+		"shadow.reads":      s.Shadow.Reads,
+		"shadow.writes":     s.Shadow.Writes,
+		"shadow.appends":    s.Shadow.ReaderAppends,
+		"shadow.flushes":    s.Shadow.ReaderFlushes,
+		"shadow.pages":      s.Shadow.TouchedPages,
+		"shadow.owned":      s.Shadow.OwnedSkips,
+		"shadow.readshared": s.Shadow.ReadSharedSkips,
+		"shadow.memo":       s.Shadow.MemoHits,
 	}
 }
 

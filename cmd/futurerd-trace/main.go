@@ -144,6 +144,7 @@ func printReport(rep *futurerd.Report, ml futurerd.MemLevel) {
 		fmt.Printf("shadow pages    %d\n", s.Shadow.TouchedPages)
 		fmt.Printf("page-cache hits %d\n", s.Shadow.PageCacheHits)
 		fmt.Printf("owned skips     %d\n", s.Shadow.OwnedSkips)
+		fmt.Printf("rd-shared skips %d\n", s.Shadow.ReadSharedSkips)
 		fmt.Printf("memo hits       %d\n", s.Shadow.MemoHits)
 		if s.Shadow.ParRanges > 0 {
 			fmt.Printf("par fan-outs    %d ranges, %d chunks\n",

@@ -49,11 +49,13 @@
 // Under MemFull every access resolves against the shadow access history
 // (internal/shadow): a flat two-level page table of 4096-word pages with a
 // last-page cache, bulk ReadRange/WriteRange operations that split at page
-// boundaries and hoist the page lookup out of the per-word loop, and two
+// boundaries and hoist the page lookup out of the per-word loop, and
 // epoch-style fast paths — a strand re-accessing a word it already owns
-// skips the protocol outright, and the most recent reachability verdict is
-// memoized across consecutive words with the same last writer. The fast
-// paths are verdict-preserving: they report exactly the races the paper's
+// (owned epoch) or re-reading a word it was the last to read at the
+// current construct generation (read-shared epoch) skips the protocol
+// outright, and the most recent reachability verdict is memoized across
+// consecutive words with the same last writer. The fast paths are
+// verdict-preserving: they report exactly the races the paper's
 // word-at-a-time protocol reports. Prefer the bulk accessors
 // (Task.ReadRange/WriteRange, Matrix.ReadRow/WriteRow) for contiguous
 // data; they amortize hook dispatch and page lookup over the whole range.
@@ -68,11 +70,16 @@
 // word-at-a-time code pays the per-range, not per-word, cost. Batches
 // are sealed at parallel constructs — where the reachability relation is
 // about to mutate — so everything in one batch executed under a single
-// immutable relation; with Config.Workers > 1 sealed batches are checked
+// immutable relation. With Config.Workers > 1 sealed batches are checked
 // on a back-end goroutine overlapping continued program execution, and
-// constructs drain the back-end before mutating the relation. Verdicts,
-// report order and deterministic counters are identical to a synchronous
-// run.
+// constructs do not wait for them: the relation is versioned
+// (core.Versioned), constructs record their mutations into a bounded log,
+// each batch carries the version it executed under, and the back-end
+// consumer replays mutations up to exactly that version before checking
+// the batch. The engine runs ahead of detection until the
+// construct-ahead window (Config.ConstructAhead) back-pressures.
+// Verdicts, report order and deterministic counters are identical to a
+// synchronous run.
 //
 // # Traces
 //

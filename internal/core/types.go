@@ -11,6 +11,8 @@
 // nodes with two in- or out-edges.
 package core
 
+import "sync/atomic"
+
 // StrandID identifies a strand (a node of the computation dag Gfull).
 // Strand 0 is reserved as "none"; valid ids start at 1.
 type StrandID uint32
@@ -156,26 +158,47 @@ type ReachStats struct {
 // StrandTable maps strands to their owning function instance. The
 // detection engine owns one table per run and shares it with the Reach
 // implementation, so the mapping is stored once.
+//
+// The engine goroutine appends strands at parallel constructs while, under
+// the non-blocking construct pipeline, the detection back-end consumer
+// resolves FnOf for in-flight batches and races. The mapping is therefore
+// published through an atomic slice header: readers load a consistent
+// (pointer, len) pair, and every strand a reader can name was published
+// before the batch naming it was sealed (the channel hand-off orders the
+// stores). In-place element writes land beyond every published reader's
+// length, so they never race with reads.
 type StrandTable struct {
-	fn []FnID // indexed by StrandID
+	hdr atomic.Pointer[[]FnID]
+	fn  []FnID // recorder-private backing; hdr republishes it after each Add
 }
 
 // NewStrandTable returns a table with capacity hint n strands.
 func NewStrandTable(n int) *StrandTable {
-	return &StrandTable{fn: make([]FnID, 1, n+1)}
+	t := &StrandTable{fn: make([]FnID, 1, n+1)}
+	t.publish()
+	return t
+}
+
+func (t *StrandTable) publish() {
+	h := t.fn
+	t.hdr.Store(&h)
 }
 
 // Add registers strand s as belonging to function f. Strands must be added
-// in id order (the engine allocates them densely).
+// in id order (the engine allocates them densely). Single recorder
+// goroutine only.
 func (t *StrandTable) Add(s StrandID, f FnID) {
 	if int(s) != len(t.fn) {
 		panic("core: strands must be registered densely in order")
 	}
 	t.fn = append(t.fn, f)
+	t.publish()
 }
 
-// FnOf returns the function instance owning strand s.
-func (t *StrandTable) FnOf(s StrandID) FnID { return t.fn[s] }
+// FnOf returns the function instance owning strand s. Safe to call from
+// the detection back-end for any strand published before the event naming
+// it was handed over.
+func (t *StrandTable) FnOf(s StrandID) FnID { return (*t.hdr.Load())[s] }
 
 // Len returns the number of registered strands (excluding the reserved 0).
-func (t *StrandTable) Len() int { return len(t.fn) - 1 }
+func (t *StrandTable) Len() int { return len(*t.hdr.Load()) - 1 }

@@ -41,15 +41,41 @@ type Engine struct {
 	nextStrand core.StrandID
 	nextFn     core.FnID
 
-	// sctx is the shadow-layer context: the reachability structure
-	// (queried directly, no per-query closure), the race sinks (allocated
-	// once so the hot path allocates nothing), and the parallel-construct
-	// generation. Gen is bumped at every construct — exactly when the
-	// reachability relation can mutate or the current strand changes — so
-	// the shadow layer's memoized Precedes verdict, keyed on (Gen,
-	// current strand), can never outlive the relation it was computed
-	// under.
+	// sctx is the shadow-layer context prototype: the reachability
+	// structure (queried directly, no per-query closure) and the race
+	// sinks (allocated once so the hot path allocates nothing). It is
+	// immutable after construction; processBatch copies it and fills in
+	// the batch's own generation, so the back-end goroutine never reads
+	// engine-mutated state.
 	sctx shadow.Ctx
+
+	// gen is the parallel-construct generation, bumped at every construct
+	// — exactly when the reachability relation can mutate or the current
+	// strand changes — so the shadow layer's memoized Precedes verdicts
+	// and read-shared stamps, keyed on (Gen, strand), can never outlive
+	// the relation they were computed under. Engine goroutine only;
+	// batches carry their generation to the back-end.
+	gen uint64
+
+	// vr, when non-nil (detecting with an asynchronous back-end), is the
+	// versioned view of the reachability relation: constructs record
+	// their mutations here instead of applying them inline, sealed
+	// batches carry the version they were recorded under, and the
+	// back-end consumer applies pending mutations up to each batch's
+	// version before checking it. Constructs therefore no longer block on
+	// back-end drain; the engine may run up to the construct-ahead window
+	// ahead of detection.
+	vr *core.Versioned
+
+	// nudgeAt is the pending-mutation threshold at which the engine hands
+	// the back-end an empty version-bearing batch, keeping the mutation
+	// log drainable through construct-dense stretches with no memory
+	// traffic (the back-end only applies mutations when it processes a
+	// batch). submittedVersion is the relation version carried by the
+	// last batch handed to the back-end; mutations at or below it need no
+	// nudge.
+	nudgeAt          int
+	submittedVersion uint64
 
 	// pool, when non-nil, is the shadow worker pool bulk ranges fan out
 	// across (Config.Workers > 1 and a concurrent-query-safe algorithm).
@@ -58,15 +84,18 @@ type Engine struct {
 	// batch is the open access-event batch: Read/Write append to it
 	// (coalescing contiguous same-kind accesses into ranges) and the
 	// whole batch is handed to the detection back-end at the next
-	// parallel construct, or earlier when it fills. Nil when memory
-	// accesses are ignored (Mem == MemOff).
-	batch *event.Batch
+	// parallel construct, or earlier when it reaches batchOps ops. Nil
+	// when memory accesses are ignored (Mem == MemOff).
+	batch    *event.Batch
+	batchOps int
 
 	// be, when non-nil, is the asynchronous detection back-end: sealed
 	// batches are checked on its goroutine while the program keeps
-	// executing. Constructs drain it before mutating the reachability
-	// relation, so in-flight batch checks only ever see the immutable
-	// relation they were recorded under.
+	// executing — across parallel constructs too, because each batch
+	// carries the version of the reachability relation it was recorded
+	// under and the consumer applies construct mutations (from vr) in
+	// batch order, so in-flight checks only ever see the immutable
+	// snapshot they were recorded under.
 	be *backend
 
 	labels map[core.FnID]string
@@ -179,14 +208,70 @@ func NewEngine(cfg Config) *Engine {
 // initPipeline sets up the access-event batch layer: every engine that
 // observes memory accesses batches them, and Workers > 1 additionally
 // runs batch detection asynchronously on the back-end goroutine,
-// overlapping it with continued program execution.
+// overlapping it with continued program execution. An asynchronous
+// detecting engine also versions its reachability relation so constructs
+// need not block on back-end drain.
 func (e *Engine) initPipeline(cfg Config) {
 	if e.hist == nil {
 		return
 	}
 	e.batch = event.New()
+	e.batchOps = cfg.BatchOps
+	if e.batchOps <= 0 {
+		e.batchOps = event.MaxOps
+	}
 	if cfg.Workers > 1 {
 		e.be = newBackend(e)
+		if e.detecting {
+			e.vr = core.NewVersioned(e.reach, cfg.ConstructAhead)
+			e.nudgeAt = e.vr.Window() / 2
+			if e.nudgeAt < 1 {
+				e.nudgeAt = 1
+			}
+		}
+	}
+}
+
+// mutate applies one construct mutation to the reachability relation:
+// inline when the pipeline is synchronous, recorded into the versioned log
+// (for the back-end consumer to apply in batch order) when it is not.
+func (e *Engine) mutate(m core.Mut) {
+	if e.vr == nil {
+		m.ApplyTo(e.reach)
+		return
+	}
+	// The log must stay drainable before Record can block on the window,
+	// and the back-end only applies mutations when it processes a
+	// version-bearing batch. Normally the batches themselves cover that —
+	// submittedVersion tracks the version carried by the last submitted
+	// batch — so a nudge (an empty batch at the current version) is only
+	// needed on construct-dense stretches whose mutations outpace real
+	// traffic. The guard is lock-free and rate-limited to one nudge per
+	// nudgeAt mutations: applied never exceeds submittedVersion while the
+	// back-end runs, so staying within nudgeAt of the last submitted
+	// version guarantees the applier can always bring the lag back under
+	// the window, and Record can never block for good. Submitting may
+	// block briefly on the batch channel, which is ordinary back-pressure.
+	if rec := e.vr.Recorded(); rec-e.submittedVersion >= uint64(e.nudgeAt) {
+		b := event.New()
+		b.Gen = e.gen
+		b.Version = rec
+		e.submittedVersion = rec
+		e.be.submit(b)
+	}
+	e.vr.Record(m)
+}
+
+// drainPipeline quiesces the detection back-end and applies every pending
+// construct mutation, so the engine goroutine may query the reachability
+// relation at the current version (CheckStructured's discipline queries,
+// the final report).
+func (e *Engine) drainPipeline() {
+	if e.be != nil {
+		e.be.drain()
+	}
+	if e.vr != nil {
+		e.vr.Drain()
 	}
 }
 
@@ -208,7 +293,7 @@ func (e *Engine) Run(root func(*Task)) *Report {
 	if e.detecting {
 		t.fn = e.newFn()
 		t.strand = e.newStrand(t.fn)
-		e.reach.Init(t.fn, t.strand)
+		e.mutate(core.Mut{Op: core.MutInit, InitFn: t.fn, InitS: t.strand})
 	}
 	func() {
 		defer func() {
@@ -227,8 +312,11 @@ func (e *Engine) Run(root func(*Task)) *Report {
 }
 
 func (e *Engine) report() *Report {
-	e.seal()       // flush and check any still-open batch
-	e.be.stop()    // quiesce the detection back-end (nil-safe)
+	e.seal()    // flush any still-open batch
+	e.be.stop() // quiesce the detection back-end (nil-safe)
+	if e.vr != nil {
+		e.vr.Drain() // apply construct mutations recorded after the last batch
+	}
 	e.pool.Close() // release the range workers (nil-safe)
 	if v, ok := e.reach.(*verifyReach); ok {
 		if mbp, ok := v.algo.(*core.MultiBagsPlus); ok {
@@ -329,7 +417,7 @@ func (e *Engine) Spawn(t *Task, f func(*Task)) {
 func (e *Engine) BeginSpawn(t *Task) *Task {
 	e.seal()
 	e.spawns++
-	e.sctx.Gen++
+	e.gen++
 	if !e.detecting {
 		return &Task{ex: e}
 	}
@@ -337,10 +425,10 @@ func (e *Engine) BeginSpawn(t *Task) *Task {
 	childFn := e.newFn()
 	childFirst := e.newStrand(childFn)
 	cont := e.newStrand(t.fn)
-	e.reach.Spawn(core.SpawnRec{
+	e.mutate(core.Mut{Op: core.MutSpawn, Spawn: core.SpawnRec{
 		ParentFn: t.fn, ChildFn: childFn,
 		Fork: fork, ChildFirst: childFirst, ContFirst: cont,
-	})
+	}})
 	child := &Task{ex: e, fn: childFn, strand: childFirst}
 	child.born = spawnRec{childFn: childFn, fork: fork, childFirst: childFirst, cont: cont}
 	return child
@@ -356,7 +444,9 @@ func (e *Engine) EndSpawn(t, child *Task) {
 	e.Sync(child) // implicit sync at function end (seals the child's batch)
 	r := child.born
 	r.childLast = child.strand
-	e.reach.Return(core.ReturnRec{Fn: child.fn, ParentFn: t.fn, Last: r.childLast})
+	e.mutate(core.Mut{Op: core.MutReturn, Return: core.ReturnRec{
+		Fn: child.fn, ParentFn: t.fn, Last: r.childLast,
+	}})
 	t.spawns = append(t.spawns, r)
 	t.strand = r.cont
 }
@@ -366,7 +456,7 @@ func (e *Engine) EndSpawn(t, child *Task) {
 func (e *Engine) Sync(t *Task) {
 	e.seal()
 	e.syncs++
-	e.sctx.Gen++
+	e.gen++
 	if !e.detecting || len(t.spawns) == 0 {
 		t.spawns = t.spawns[:0]
 		return
@@ -375,11 +465,11 @@ func (e *Engine) Sync(t *Task) {
 	for i := len(t.spawns) - 1; i >= 0; i-- {
 		r := t.spawns[i]
 		j := e.newStrand(t.fn)
-		e.reach.SyncJoin(core.JoinRec{
+		e.mutate(core.Mut{Op: core.MutJoin, Join: core.JoinRec{
 			Fn: t.fn, ChildFn: r.childFn,
 			Fork: r.fork, ChildFirst: r.childFirst, ContFirst: r.cont,
 			ChildLast: r.childLast, ContLast: cur, Join: j,
-		})
+		}})
 		cur = j
 	}
 	t.spawns = t.spawns[:0]
@@ -402,7 +492,7 @@ func (e *Engine) CreateFut(t *Task, body func(*Task) any) *Fut {
 func (e *Engine) BeginFut(t *Task) (*Task, *Fut) {
 	e.seal()
 	e.creates++
-	e.sctx.Gen++
+	e.gen++
 	if !e.detecting {
 		return &Task{ex: e}, &Fut{}
 	}
@@ -410,10 +500,10 @@ func (e *Engine) BeginFut(t *Task) (*Task, *Fut) {
 	futFn := e.newFn()
 	futFirst := e.newStrand(futFn)
 	cont := e.newStrand(t.fn)
-	e.reach.CreateFut(core.CreateRec{
+	e.mutate(core.Mut{Op: core.MutCreate, Create: core.CreateRec{
 		ParentFn: t.fn, FutFn: futFn,
 		Creator: creator, FutFirst: futFirst, ContFirst: cont,
-	})
+	}})
 	h := &Fut{fn: futFn, creatorStrand: creator, first: futFirst}
 	child := &Task{ex: e, fn: futFn, strand: futFirst}
 	child.born = spawnRec{cont: cont}
@@ -432,7 +522,9 @@ func (e *Engine) EndFut(t, child *Task, h *Fut, val any) {
 	e.Sync(child) // implicit sync at function end (seals the child's batch)
 	h.last = child.strand
 	h.done = true
-	e.reach.Return(core.ReturnRec{Fn: h.fn, ParentFn: t.fn, Last: h.last})
+	e.mutate(core.Mut{Op: core.MutReturn, Return: core.ReturnRec{
+		Fn: h.fn, ParentFn: t.fn, Last: h.last,
+	}})
 	t.strand = child.born.cont
 }
 
@@ -440,7 +532,7 @@ func (e *Engine) EndFut(t, child *Task, h *Fut, val any) {
 func (e *Engine) GetFut(t *Task, h *Fut) any {
 	e.seal()
 	e.gets++
-	e.sctx.Gen++
+	e.gen++
 	if h == nil {
 		e.fail(fmt.Errorf("%w (nil handle)", ErrFutureNotReady))
 	}
@@ -458,6 +550,11 @@ func (e *Engine) GetFut(t *Task, h *Fut) any {
 				"future fn %d touched more than once (second get at strand %d)",
 				h.fn, getter))
 		}
+		// The discipline query runs on the engine goroutine against the
+		// current relation, so the pipeline must be caught up first. This
+		// is the one construct that still drains — only in CheckStructured
+		// runs, which trade throughput for the extra checking by design.
+		e.drainPipeline()
 		if !e.reach.Precedes(h.creatorStrand, getter) {
 			e.violate("unordered-create-get", fmt.Sprintf(
 				"create at strand %d does not sequentially precede get at strand %d",
@@ -465,11 +562,11 @@ func (e *Engine) GetFut(t *Task, h *Fut) any {
 		}
 	}
 	cont := e.newStrand(t.fn)
-	e.reach.GetFut(core.GetRec{
+	e.mutate(core.Mut{Op: core.MutGet, Get: core.GetRec{
 		Fn: t.fn, FutFn: h.fn,
 		Getter: getter, FutLast: h.last, Cont: cont,
 		Creator: h.creatorStrand, Touch: h.touches,
-	})
+	}})
 	t.strand = cont
 	return h.val
 }
@@ -513,32 +610,36 @@ func (e *Engine) access(t *Task, k event.Kind, addr uint64, words int) {
 		e.flushBatch()
 	}
 	e.batch.Strand = t.strand
-	if e.batch.Append(k, addr, words) >= event.MaxOps {
+	if e.batch.Append(k, addr, words) >= e.batchOps {
 		e.flushBatch()
 	}
 }
 
-// seal closes the open batch and, when the back-end is asynchronous,
-// waits for every in-flight batch check to finish. It runs at each
-// parallel construct: the reachability relation is about to mutate (or be
-// queried by the construct itself), and batch checks must only ever
-// overlap plain execution, never a construct.
+// seal closes the open batch at a parallel construct. The batch leaves
+// stamped with the generation and relation version it executed under, so
+// an asynchronous back-end can keep checking it — against the immutable
+// snapshot named by that version — while the construct proceeds and the
+// program keeps executing: constructs do not block on back-end drain.
 func (e *Engine) seal() {
 	if e.batch == nil {
 		return
 	}
 	e.flushBatch()
-	if e.be != nil {
-		e.be.drain()
-	}
 }
 
 // flushBatch hands the open batch to the detection back-end: inline on
 // the engine goroutine when the pipeline is synchronous, queued to the
 // back-end goroutine (overlapping continued execution) when it is not.
+// The batch is stamped with the current construct generation and relation
+// version either way.
 func (e *Engine) flushBatch() {
 	if len(e.batch.Ops) == 0 {
 		return
+	}
+	e.batch.Gen = e.gen
+	if e.vr != nil {
+		e.batch.Version = e.vr.Recorded()
+		e.submittedVersion = e.batch.Version
 	}
 	if e.be != nil {
 		full := e.batch
@@ -551,25 +652,35 @@ func (e *Engine) flushBatch() {
 }
 
 // processBatch runs detection over one sealed batch. Every op in the
-// batch was performed by batch.Strand under the reachability relation
-// current at processing time (constructs drain the back-end before
-// mutating it). Large coalesced ranges additionally fan out across the
-// shadow worker pool.
+// batch was performed by batch.Strand under the relation snapshot named
+// by batch.Version — the back-end consumer applies pending construct
+// mutations up to exactly that version first, so in-flight checks never
+// observe a relation newer than the one the accesses executed under.
+// Large coalesced ranges additionally fan out across the shadow worker
+// pool. Runs on the back-end goroutine when the pipeline is asynchronous,
+// inline otherwise.
 func (e *Engine) processBatch(b *event.Batch) {
+	if e.vr != nil {
+		e.vr.ApplyTo(b.Version)
+	}
 	if e.mem == MemFull {
+		// A local context carries the batch's own generation; the
+		// prototype's relation pointer and race sinks are immutable.
+		ctx := e.sctx
+		ctx.Gen = b.Gen
 		for i := range b.Ops {
 			op := &b.Ops[i]
 			if op.Kind == event.Read {
 				if e.pool != nil {
-					e.hist.ReadRangePar(op.Addr, op.Words, b.Strand, &e.sctx, e.pool)
+					e.hist.ReadRangePar(op.Addr, op.Words, b.Strand, &ctx, e.pool)
 				} else {
-					e.hist.ReadRange(op.Addr, op.Words, b.Strand, &e.sctx)
+					e.hist.ReadRange(op.Addr, op.Words, b.Strand, &ctx)
 				}
 			} else {
 				if e.pool != nil {
-					e.hist.WriteRangePar(op.Addr, op.Words, b.Strand, &e.sctx, e.pool)
+					e.hist.WriteRangePar(op.Addr, op.Words, b.Strand, &ctx, e.pool)
 				} else {
-					e.hist.WriteRange(op.Addr, op.Words, b.Strand, &e.sctx)
+					e.hist.WriteRange(op.Addr, op.Words, b.Strand, &ctx)
 				}
 			}
 		}
@@ -584,21 +695,34 @@ func (e *Engine) processBatch(b *event.Batch) {
 // backend is the asynchronous detection back-end: one consumer goroutine
 // that checks sealed batches while the engine goroutine keeps executing
 // the program. A single consumer preserves the serial batch order — and
-// with it the exact verdicts and report order of a synchronous run —
-// while each batch's bulk ranges may still fan out across the worker
-// pool. Memory ordering: a batch is published by the channel send, and
-// the construct's drain() observes all of the consumer's shadow and
-// counter writes via pending.Wait.
+// with it the exact verdicts, counters and report order of a synchronous
+// run — while each batch's bulk ranges may still fan out across the
+// worker pool. The consumer is also the relation's applier: it replays
+// each batch's pending construct mutations before checking it, so the
+// engine goroutine can run ahead through constructs without waiting.
+// Memory ordering: a batch is published by the channel send, and the
+// final drain observes all of the consumer's shadow and counter writes
+// via pending.Wait. The channel buffer is the batch half of the
+// construct-ahead window: the engine double-buffers at least this many
+// sealed batches before a send can block.
 type backend struct {
 	ch      chan *event.Batch
 	pending sync.WaitGroup
 	stopped sync.Once
+
+	// testHook, when non-nil, runs on the consumer goroutine before each
+	// batch is checked; pipeline tests use it to hold a batch in flight
+	// and prove constructs do not wait for it.
+	testHook func(*event.Batch)
 }
 
 func newBackend(e *Engine) *backend {
 	be := &backend{ch: make(chan *event.Batch, 16)}
 	go func() {
 		for b := range be.ch {
+			if be.testHook != nil {
+				be.testHook(b)
+			}
 			e.processBatch(b)
 			event.Recycle(b)
 			be.pending.Done()

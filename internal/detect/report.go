@@ -97,6 +97,24 @@ type Config struct {
 	// need to exercise the fan-out on small ranges.
 	WorkerChunk int
 
+	// BatchOps overrides the op cap of one access-event batch (0 means
+	// event.MaxOps): a batch that reaches the cap flushes mid-window so
+	// pipeline memory stays bounded on non-coalescing access storms.
+	// Exposed for the BenchmarkBatchCap sweep; verdicts are identical for
+	// any cap ≥ 1.
+	BatchOps int
+
+	// ConstructAhead bounds how many construct mutations the engine may
+	// record ahead of the asynchronous detection back-end (Workers > 1):
+	// the reachability relation is versioned, sealed batches carry the
+	// version they were recorded under, and parallel constructs proceed
+	// without waiting for in-flight batch checks — up to this window, at
+	// which point the engine back-pressures. 0 means
+	// core.DefaultConstructAhead. Irrelevant for Workers <= 1, where the
+	// pipeline is synchronous. Reports are verdict-, order- and
+	// counter-identical for any window.
+	ConstructAhead int
+
 	// MaxRaces caps the number of distinct races collected in the report
 	// (detection continues and keeps counting). 0 means DefaultMaxRaces.
 	MaxRaces int

@@ -44,10 +44,12 @@ type Op struct {
 	Kind  Kind
 }
 
-// MaxOps caps the ops buffered in one batch. A front-end flushes a full
-// batch mid-window (the detection back-end can start on it early); the cap
-// bounds pipeline memory on construct-free access storms that do not
-// coalesce. Coalescing scans, however long, stay a single op.
+// MaxOps is the default cap on the ops buffered in one batch. A front-end
+// flushes a full batch mid-window (the detection back-end can start on it
+// early); the cap bounds pipeline memory on construct-free access storms
+// that do not coalesce. Coalescing scans, however long, stay a single op.
+// The engine takes a per-run override (Config.BatchOps); this default was
+// confirmed by bench_test.go's BenchmarkBatchCap sweep.
 const MaxOps = 4096
 
 // Batch is an ordered run of accesses made by one strand between two
@@ -56,7 +58,17 @@ type Batch struct {
 	// Strand is the strand that performed every op in the batch (the
 	// current strand can only change at a construct, which seals).
 	Strand core.StrandID
-	Ops    []Op
+	// Gen is the engine's construct generation the ops executed under; it
+	// keys the shadow layer's memoized verdicts and read-shared stamps.
+	// Stamped at seal time, when the batch leaves the engine goroutine.
+	Gen uint64
+	// Version is the reachability-relation version (count of construct
+	// mutations recorded) the ops executed under. The detection back-end
+	// applies pending mutations up to exactly this version before checking
+	// the batch, so in-flight batches always observe the immutable
+	// relation snapshot they were recorded under.
+	Version uint64
+	Ops     []Op
 }
 
 // Append records an access, coalescing it into the previous op when it
@@ -85,6 +97,8 @@ func (b *Batch) Len() int { return len(b.Ops) }
 func (b *Batch) Reset() {
 	b.Ops = b.Ops[:0]
 	b.Strand = core.NoStrand
+	b.Gen = 0
+	b.Version = 0
 }
 
 var pool = sync.Pool{New: func() any { return &Batch{} }}

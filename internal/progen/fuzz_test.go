@@ -15,9 +15,9 @@ import (
 //
 // Without -fuzz the seed corpus below runs as regular tests.
 
-func fuzzOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, stmts int) {
+func fuzzOne(t *testing.T, seed uint64, opts Options, mode detect.Mode) {
 	t.Helper()
-	p := Generate(seed, Options{Dialect: dialect, MaxStmts: stmts})
+	p := Generate(seed, opts)
 	rep := detect.NewEngine(detect.Config{
 		Mode:   mode,
 		Mem:    detect.MemFull,
@@ -37,9 +37,9 @@ func fuzzOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, stmts
 // order, which is address order), same observation count, same protocol
 // counters. The tiny WorkerChunk forces even progen's short ranges to
 // fan out across real workers.
-func parallelOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, stmts int) {
+func parallelOne(t *testing.T, seed uint64, opts Options, mode detect.Mode) {
 	t.Helper()
-	p := Generate(seed, Options{Dialect: dialect, MaxStmts: stmts})
+	p := Generate(seed, opts)
 	serial := detect.NewEngine(detect.Config{
 		Mode: mode, Mem: detect.MemFull, MaxRaces: 1 << 20,
 	}).Run(p.Run)
@@ -64,7 +64,8 @@ func parallelOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, s
 	}
 	ss, ps := serial.Stats.Shadow, par.Stats.Shadow
 	if ss.Reads != ps.Reads || ss.Writes != ps.Writes ||
-		ss.OwnedSkips != ps.OwnedSkips || ss.ReaderAppends != ps.ReaderAppends ||
+		ss.OwnedSkips != ps.OwnedSkips || ss.ReadSharedSkips != ps.ReadSharedSkips ||
+		ss.ReaderAppends != ps.ReaderAppends ||
 		ss.ReaderFlushes != ps.ReaderFlushes {
 		t.Fatalf("seed %d: shadow counters diverge\nserial %+v\npar    %+v\n%s", seed, ss, ps, p)
 	}
@@ -74,9 +75,9 @@ func parallelOne(t *testing.T, seed uint64, dialect Dialect, mode detect.Mode, s
 // generated program: recording its trace and replaying it must reproduce
 // the direct run's report — same races in the same order, same structure
 // and shadow traffic — under every algorithm, serial and parallel.
-func replayOne(t *testing.T, seed uint64, dialect Dialect, stmts int) {
+func replayOne(t *testing.T, seed uint64, opts Options) {
 	t.Helper()
-	p := Generate(seed, Options{Dialect: dialect, MaxStmts: stmts})
+	p := Generate(seed, opts)
 	raw, err := trace.RecordBytes(p.Run)
 	if err != nil {
 		t.Fatalf("seed %d: record: %v", seed, err)
@@ -121,7 +122,8 @@ func replayOne(t *testing.T, seed uint64, dialect Dialect, stmts int) {
 			}
 			ss, rs := direct.Stats.Shadow, replayed.Stats.Shadow
 			if ss.Reads != rs.Reads || ss.Writes != rs.Writes ||
-				ss.OwnedSkips != rs.OwnedSkips || ss.ReaderAppends != rs.ReaderAppends ||
+				ss.OwnedSkips != rs.OwnedSkips || ss.ReadSharedSkips != rs.ReadSharedSkips ||
+				ss.ReaderAppends != rs.ReaderAppends ||
 				ss.ReaderFlushes != rs.ReaderFlushes {
 				t.Fatalf("seed %d [%s w=%d]: shadow counters diverge\ndirect %+v\nreplay %+v\n%s",
 					seed, mode, workers, ss, rs, p)
@@ -135,9 +137,10 @@ func FuzzGeneralPrograms(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
-		fuzzOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
-		parallelOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
-		replayOne(t, seed, General, 60)
+		opts := Options{Dialect: General, MaxStmts: 60}
+		fuzzOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		parallelOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		replayOne(t, seed, opts)
 	})
 }
 
@@ -146,10 +149,32 @@ func FuzzStructuredPrograms(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
-		fuzzOne(t, seed, Structured, detect.ModeMultiBags, 60)
-		fuzzOne(t, seed, Structured, detect.ModeMultiBagsPlus, 60)
-		parallelOne(t, seed, Structured, detect.ModeMultiBags, 60)
-		replayOne(t, seed, Structured, 60)
+		opts := Options{Dialect: Structured, MaxStmts: 60}
+		fuzzOne(t, seed, opts, detect.ModeMultiBags)
+		fuzzOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		parallelOne(t, seed, opts, detect.ModeMultiBags)
+		replayOne(t, seed, opts)
+	})
+}
+
+// FuzzReadSharedPrograms is the read-shared-heavy differential arm: the
+// access mix is mostly bulk reads over a handful of locations, so
+// reader lists stack up, strands re-read ranges other strands have read,
+// and the read-shared epoch stamps carry real weight. Any seed must agree
+// with the oracle on every verdict and with the serial engine on every
+// counter the protocol defines — if the stamp ever masked a race or
+// mis-skipped, this arm is built to find it.
+func FuzzReadSharedPrograms(f *testing.F) {
+	for _, s := range []uint64{0, 1, 7, 42, 4096, 0xfeedbeef} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		gen := Options{Dialect: General, MaxStmts: 60, Locs: 5, ReadHeavy: true}
+		str := Options{Dialect: Structured, MaxStmts: 60, Locs: 5, ReadHeavy: true}
+		fuzzOne(t, seed, gen, detect.ModeMultiBagsPlus)
+		fuzzOne(t, seed, str, detect.ModeMultiBags)
+		parallelOne(t, seed, gen, detect.ModeMultiBagsPlus)
+		replayOne(t, seed, gen)
 	})
 }
 
@@ -158,8 +183,8 @@ func FuzzStructuredPrograms(f *testing.F) {
 // programs without the fuzzer.
 func TestParallelMatchesSerialSeeds(t *testing.T) {
 	for seed := uint64(0); seed < 40; seed++ {
-		parallelOne(t, seed, General, detect.ModeMultiBagsPlus, 60)
-		parallelOne(t, seed, Structured, detect.ModeMultiBags, 60)
+		parallelOne(t, seed, Options{Dialect: General, MaxStmts: 60}, detect.ModeMultiBagsPlus)
+		parallelOne(t, seed, Options{Dialect: Structured, MaxStmts: 60}, detect.ModeMultiBags)
 	}
 }
 
@@ -167,7 +192,26 @@ func TestParallelMatchesSerialSeeds(t *testing.T) {
 // differential (all three algorithms, Workers ∈ {1, 4}) the same way.
 func TestReplayMatchesDirectSeeds(t *testing.T) {
 	for seed := uint64(0); seed < 25; seed++ {
-		replayOne(t, seed, General, 60)
-		replayOne(t, seed, Structured, 60)
+		replayOne(t, seed, Options{Dialect: General, MaxStmts: 60})
+		replayOne(t, seed, Options{Dialect: Structured, MaxStmts: 60})
+	}
+}
+
+// TestReadSharedHeavySeeds sweeps the read-shared-heavy arm without the
+// fuzzer, and checks the mix actually exercises the fast path.
+func TestReadSharedHeavySeeds(t *testing.T) {
+	opts := Options{Dialect: General, MaxStmts: 60, Locs: 5, ReadHeavy: true}
+	var skips uint64
+	for seed := uint64(0); seed < 30; seed++ {
+		fuzzOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		parallelOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		p := Generate(seed, opts)
+		rep := detect.NewEngine(detect.Config{
+			Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull, MaxRaces: 1 << 20,
+		}).Run(p.Run)
+		skips += rep.Stats.Shadow.ReadSharedSkips
+	}
+	if skips == 0 {
+		t.Fatal("read-heavy sweep never hit the read-shared fast path")
 	}
 }

@@ -96,6 +96,15 @@ type Options struct {
 	MaxStmts int // overall statement budget (default 40)
 	MaxDepth int // nesting depth (default 5)
 	Locs     int // shared locations (default 8)
+
+	// ReadHeavy skews the access mix toward bulk reads over few
+	// locations: many strands repeatedly re-reading overlapping shared
+	// ranges, with writes rare enough that reader lists survive across
+	// construct windows. This is the traffic shape of the shadow layer's
+	// read-shared epoch fast path, so differential arms with ReadHeavy
+	// pin that path (serial, worker-pool, and replay alike) against the
+	// reference protocol and the oracle.
+	ReadHeavy bool
 }
 
 func (o *Options) defaults() {
@@ -180,27 +189,42 @@ func (g *generator) genStmt(depth int, fr *frame) Stmt {
 	// accessLen picks the width of a read/write: mostly single words, with
 	// a tail of bulk ranges so the engine's range paths (and, in the
 	// parallel differential tests, the worker fan-out) see real traffic.
-	// Ranges deliberately overlap the single-word locations.
+	// Ranges deliberately overlap the single-word locations. Read-heavy
+	// programs flip the bias: mostly bulk ranges, so the same few
+	// locations are re-read over and over.
 	accessLen := func() int {
-		if g.rng.IntN(4) != 0 {
+		bulk := g.rng.IntN(4) == 0
+		if g.opts.ReadHeavy {
+			bulk = g.rng.IntN(4) != 0
+		}
+		if !bulk {
 			return 1
 		}
 		return 2 + g.rng.IntN(3*g.opts.Locs)
 	}
+	// Statement mix: weights out of 20 per kind. The default mix is the
+	// original 7 reads : 5 writes : 3 spawns : 2 creates : 2 gets : 1
+	// sync; read-heavy programs trade most writes and one spawn slot for
+	// extra reads (12:2:2:1:2:1), so reader lists pile up and survive
+	// across construct windows.
+	readCut, writeCut, spawnCut, createCut, getCut := 7, 12, 15, 17, 19
+	if g.opts.ReadHeavy {
+		readCut, writeCut, spawnCut, createCut, getCut = 12, 14, 16, 17, 19
+	}
 	for {
-		switch g.rng.IntN(20) {
-		case 0, 1, 2, 3, 4, 5, 6: // read
+		switch k := g.rng.IntN(20); {
+		case k < readCut: // read
 			return Stmt{Op: OpRead, Loc: g.rng.IntN(g.opts.Locs), Len: accessLen()}
-		case 7, 8, 9, 10, 11: // write
+		case k < writeCut: // write
 			return Stmt{Op: OpWrite, Loc: g.rng.IntN(g.opts.Locs), Len: accessLen()}
-		case 12, 13, 14: // spawn
+		case k < spawnCut: // spawn
 			if depth >= g.opts.MaxDepth || g.budget < 2 {
 				continue
 			}
 			body, exp := g.genBlockExp(depth+1, false)
 			fr.pendingSync = append(fr.pendingSync, exp...)
 			return Stmt{Op: OpSpawn, Body: body}
-		case 15, 16: // create_fut
+		case k < createCut: // create_fut
 			if g.opts.Dialect == PureSP || depth >= g.opts.MaxDepth || g.budget < 2 {
 				continue
 			}
@@ -211,7 +235,7 @@ func (g *generator) genStmt(depth int, fr *frame) Stmt {
 			g.allFuts = append(g.allFuts, id)
 			fr.eligible = append(fr.eligible, id)
 			return Stmt{Op: OpCreate, Fut: id, Body: body}
-		case 17, 18: // get_fut
+		case k < getCut: // get_fut
 			switch g.opts.Dialect {
 			case PureSP:
 				continue
@@ -231,7 +255,7 @@ func (g *generator) genStmt(depth int, fr *frame) Stmt {
 				}
 				return Stmt{Op: OpGet, Fut: g.allFuts[g.rng.IntN(len(g.allFuts))]}
 			}
-		case 19: // sync
+		default: // sync
 			fr.eligible = append(fr.eligible, fr.pendingSync...)
 			fr.pendingSync = nil
 			return Stmt{Op: OpSync}

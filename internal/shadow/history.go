@@ -25,6 +25,16 @@
 //     (it is the last writer, and for writes no readers intervened) is
 //     race-free by definition and skips the protocol entirely — the
 //     FastTrack "same epoch" observation transplanted to strand ids.
+//   - Read-shared epochs: each word additionally carries a (lastReader,
+//     readGen) summary stamped when a read completes race-free. A strand
+//     re-reading a word it was the last to read, at the same construct
+//     generation, skips the protocol — the Precedes verdict against the
+//     word's writer was already proven in this window, the relation is
+//     immutable until the next construct, and any intervening write would
+//     have cleared the stamp. This is FastTrack's read-epoch observation
+//     carried over to strand ids: repeated reads of shared data, the
+//     dominant pattern in future-parallel code, cost one query per
+//     (word, strand, generation), not one per access.
 //   - The last (writer-strand → current-strand) reachability verdict is
 //     memoized: consecutive words written by the same predecessor strand
 //     pay one Precedes call, not one per word. The memo is keyed by the
@@ -74,16 +84,27 @@ const dirMask = dirSize - 1
 // which the library's dense allocator never produces — spill into a map.
 const maxDirs = 1 << 20
 
-// word is the shadow state of one address: the last writer plus the first
-// reader since that write, 8 pointer-free bytes. Keeping pages free of
-// pointers matters as much as the lookup structure: a page allocates in a
-// noscan span, so the garbage collector never walks shadow memory, and
-// first-touch zeroing clears 32KB instead of 128KB. The uncommon case of
-// several distinct readers between two writes spills to History.spill,
-// flagged by spillFlag in reader0.
+// word is the shadow state of one address: the last writer, the first
+// reader since that write, and the read-shared summary (the most recent
+// race-free reader and the construct generation it was proven at) — 16
+// pointer-free bytes. Keeping pages free of pointers matters as much as
+// the lookup structure: a page allocates in a noscan span, so the garbage
+// collector never walks shadow memory, and first-touch zeroing clears 64KB
+// instead of a pointer-scanned multiple. The uncommon case of several
+// distinct readers between two writes spills to History.spill, flagged by
+// spillFlag in reader0.
+//
+// The summary invariant: (lastReader, readGen) is non-zero only if
+// lastReader completed a race-free read of this word at generation readGen
+// and no write has touched the word since (installWriter clears the
+// summary). readGen stores the low 32 bits of Ctx.Gen; Ctx disables the
+// summary entirely for generations ≥ 2^32 (see Ctx.readEpochs), so a
+// truncated stamp can never alias across the wrap.
 type word struct {
 	lastWriter core.StrandID
 	reader0    core.StrandID
+	lastReader core.StrandID
+	readGen    uint32
 }
 
 // spillFlag marks a word whose reader list continues in History.spill.
@@ -140,16 +161,17 @@ type History struct {
 	// atomically on the parallel path (workers materialize their own
 	// pages); everything else is either serial or aggregated from
 	// worker-local counters after each fan-out.
-	reads, writes uint64
-	readerAppends uint64
-	readerFlushes uint64
-	touchedPages  uint64
-	pageCacheHits uint64
-	ownedSkips    uint64
-	memoHits      uint64
-	parRanges     uint64 // range ops that actually fanned out
-	parChunks     uint64 // chunks processed across all fan-outs
-	touched       uint64 // Touch checksum; keeps the instr config honest
+	reads, writes   uint64
+	readerAppends   uint64
+	readerFlushes   uint64
+	touchedPages    uint64
+	pageCacheHits   uint64
+	ownedSkips      uint64
+	readSharedSkips uint64
+	memoHits        uint64
+	parRanges       uint64 // range ops that actually fanned out
+	parChunks       uint64 // chunks processed across all fan-outs
+	touched         uint64 // Touch checksum; keeps the instr config honest
 }
 
 // NewHistory returns an empty access history.
@@ -278,8 +300,12 @@ func (h *History) appendSpill(w *word, addr uint64, s core.StrandID) {
 	h.readerAppends++
 }
 
-// flushReaders empties the reader list of w after a race-free write. The
-// spill entry keeps its capacity for the next spill on this word.
+// flushReaders empties the reader list of w after a race-free write, along
+// with the read-shared summary (which must not survive a write: its
+// verdict was proven against the previous writer). The spill entry keeps
+// its capacity for the next spill on this word. A word with no readers has
+// no summary either — a race-free read always records its reader — so the
+// early return cannot strand a stale stamp.
 func (h *History) flushReaders(w *word, addr uint64) {
 	if w.reader0 == core.NoStrand {
 		return
@@ -288,6 +314,8 @@ func (h *History) flushReaders(w *word, addr uint64) {
 		h.spill[addr] = h.spill[addr][:0]
 	}
 	w.reader0 = core.NoStrand
+	w.lastReader = core.NoStrand
+	w.readGen = 0
 	h.readerFlushes++
 }
 
@@ -352,6 +380,14 @@ type Ctx struct {
 	OnWriteRace func(addr uint64, r Racer, cur core.StrandID)
 }
 
+// readEpochs reports whether the read-shared summary may be consulted for
+// this context's generation: the 32-bit per-word stamp can only represent
+// generations below 2^32, so later generations fall back to the full
+// protocol (a run that performs four billion parallel constructs keeps
+// exact detection, just without this fast path). Stamps written before the
+// wrap are then never read, so truncation can never alias.
+func (ctx *Ctx) readEpochs() bool { return ctx.Gen < 1<<32 }
+
 // precedes answers "u is sequentially before the current strand s" through
 // the single-entry verdict memo. ctx.Gen is the engine's construct
 // generation; (Gen, s) together pin a window during which the reachability
@@ -372,16 +408,24 @@ func (h *History) precedes(u, s core.StrandID, ctx *Ctx) bool {
 // (with the same racer the reference protocol would find); race-free words
 // update the reader lists.
 //
-// Fast path: a read of a word whose last writer is s itself is race-free
+// Fast paths: a read of a word whose last writer is s itself is race-free
 // and skipped without touching the reader list. That loses no races: any
 // later access racing with this read also races with s's own earlier
 // write, which stays in the history and is checked first by both Read and
 // Write — so every verdict and every reported racer is unchanged.
+//
+// A read of a word s was the last to read, at the current construct
+// generation, is likewise skipped (the read-shared epoch): s's earlier
+// read already proved the word's writer precedes s under the exact
+// relation still in force, the reader list already records s, and any
+// intervening write would have cleared the stamp — so the protocol would
+// re-derive precisely the state the word is already in.
 func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 	if words <= 0 {
 		return
 	}
 	h.reads += uint64(words)
+	g32, epochs := uint32(ctx.Gen), ctx.readEpochs()
 	if words == 1 {
 		// One-word accesses (Array/Var Get) skip the segment machinery.
 		pn := addr >> PageBits
@@ -392,9 +436,12 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 			p = h.pageFor(pn)
 		}
 		w := &p[addr&pageMask]
-		if w.lastWriter == s {
+		switch {
+		case w.lastWriter == s:
 			h.ownedSkips++ // epoch fast path: s reads its own last write
-		} else {
+		case epochs && w.lastReader == s && w.readGen == g32:
+			h.readSharedSkips++ // read-shared epoch: proven this generation
+		default:
 			h.readWordSlow(w, addr, s, ctx)
 		}
 		return
@@ -415,9 +462,12 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 		ws := p[slot : slot+n]
 		for i := range ws {
 			w := &ws[i]
-			if w.lastWriter == s {
+			switch {
+			case w.lastWriter == s:
 				h.ownedSkips++ // epoch fast path: s reads its own last write
-			} else {
+			case epochs && w.lastReader == s && w.readGen == g32:
+				h.readSharedSkips++ // read-shared epoch: proven this generation
+			default:
 				h.readWordSlow(w, addr+uint64(i), s, ctx)
 			}
 		}
@@ -430,12 +480,15 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 }
 
 // readWordSlow runs the read protocol for a word s does not own (the
-// owned-word fast path is inlined at the call sites).
+// owned-word and read-shared fast paths are inlined at the call sites). A
+// race-free completion stamps the read-shared summary so the next re-read
+// by s at this generation skips the protocol.
 func (h *History) readWordSlow(w *word, addr uint64, s core.StrandID, ctx *Ctx) {
 	if w.lastWriter != core.NoStrand && !h.precedes(w.lastWriter, s, ctx) {
 		ctx.OnReadRace(addr, Racer{Prev: w.lastWriter, PrevWrite: true}, s)
-		return // racy read is not appended (reference protocol)
+		return // racy read is not appended (reference protocol), not stamped
 	}
+	w.lastReader, w.readGen = s, uint32(ctx.Gen)
 	if w.reader0 == core.NoStrand {
 		w.reader0 = s
 		h.readerAppends++
@@ -550,6 +603,12 @@ type Stats struct {
 	// OwnedSkips counts accesses short-circuited by the epoch-style
 	// ownership fast path (no protocol run, no reachability query).
 	OwnedSkips uint64
+	// ReadSharedSkips counts reads short-circuited by the read-shared
+	// epoch: the strand re-read a word it was the last to read at the
+	// current construct generation, so the proven verdict was reused and
+	// no protocol ran. Disjoint from OwnedSkips (an access is counted by
+	// at most one skip counter).
+	ReadSharedSkips uint64
 	// MemoHits counts reachability queries answered by the memoized
 	// last-verdict cache instead of the reachability structure.
 	MemoHits uint64
@@ -563,13 +622,14 @@ type Stats struct {
 func (h *History) Stats() Stats {
 	return Stats{
 		Reads: h.reads, Writes: h.writes,
-		ReaderAppends: h.readerAppends,
-		ReaderFlushes: h.readerFlushes,
-		TouchedPages:  h.touchedPages,
-		PageCacheHits: h.pageCacheHits,
-		OwnedSkips:    h.ownedSkips,
-		MemoHits:      h.memoHits,
-		ParRanges:     h.parRanges,
-		ParChunks:     h.parChunks,
+		ReaderAppends:   h.readerAppends,
+		ReaderFlushes:   h.readerFlushes,
+		TouchedPages:    h.touchedPages,
+		PageCacheHits:   h.pageCacheHits,
+		OwnedSkips:      h.ownedSkips,
+		ReadSharedSkips: h.readSharedSkips,
+		MemoHits:        h.memoHits,
+		ParRanges:       h.parRanges,
+		ParChunks:       h.parChunks,
 	}
 }

@@ -69,7 +69,7 @@ func TestPageForSharedContention(t *testing.T) {
 // scenario through the default-chunk parallel path and the serial path
 // and requires identical events and stats.
 func TestParallelLargeRangeMatchesSerial(t *testing.T) {
-	const words = 6*pageSize + 123                         // several chunks at the default granule
+	const words = 3*DefaultChunkWords + 123                // several chunks at the default granule
 	base := uint64(pageSize - 57)                          // misaligned start
 	rel := func(u, v core.StrandID) bool { return u == 1 } // only strand 1 precedes others
 

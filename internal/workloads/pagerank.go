@@ -1,0 +1,224 @@
+package workloads
+
+import (
+	"fmt"
+
+	"futurerd"
+)
+
+// PageRank is a read-shared graph-analytics benchmark beyond the paper's
+// six: a blocked power-iteration PageRank sweep over a synthetic
+// fixed-out-degree graph. It is deliberately the opposite traffic shape of
+// the wavefront kernels — instead of every cell being written once and
+// read by a couple of neighbors, every parallel strand of an iteration
+// reads the *entire* shared rank vector (a bulk streaming scan for the
+// global teleport mass, then a scattered gather of its in-neighbor
+// contributions) while writing only its own block of the next vector.
+// Repeated reads of shared data inside one strand are exactly what the
+// shadow layer's read-shared epoch accelerates, and what the owned-word
+// filter alone cannot touch.
+//
+// Arithmetic is int64 fixed-point (prScale), so results are exact,
+// deterministic, and independent of summation order — the parallel
+// scheduler and the sequential reference agree bit for bit.
+//
+// The structured variant creates one future per block per iteration and
+// gets each exactly once, in creation order, before the next iteration
+// starts (single-touch, creator precedes getter — MultiBags territory).
+// The general variant instead has every block of iteration i+1 get every
+// future of iteration i itself: handles escape into sibling futures and
+// are touched once per consuming block (multi-touch — MultiBags+
+// territory), a pipelined dependence structure like bst's.
+type PageRank struct {
+	n       int // vertices
+	b       int // vertices per block (one future per block)
+	deg     int // fixed out-degree
+	iters   int // power iterations
+	variant Variant
+	seed    uint64
+
+	edges *futurerd.Array[int32] // CSR target list, n*deg, built once
+	rank  [2]*futurerd.Array[int64]
+
+	// InjectRace makes one block of the middle iteration write into the
+	// shared rank vector every other block is reading, so the clean
+	// barrier structure is violated by exactly one write.
+	InjectRace bool
+}
+
+// prScale is the fixed-point scale of rank values.
+const prScale = 1 << 20
+
+// prDamping is the damping factor in percent (0.85).
+const prDamping = 85
+
+// NewPageRank builds an instance with n vertices in blocks of b, fixed
+// out-degree deg, and the given number of power iterations.
+func NewPageRank(n, b, deg, iters int, variant Variant, seed uint64) *PageRank {
+	p := &PageRank{
+		n: n, b: b, deg: deg, iters: iters, variant: variant, seed: seed,
+		edges: futurerd.NewArray[int32](n * deg),
+	}
+	p.rank[0] = futurerd.NewArray[int64](n)
+	p.rank[1] = futurerd.NewArray[int64](n)
+	raw := p.edges.Raw()
+	for v := 0; v < n; v++ {
+		for k := 0; k < deg; k++ {
+			raw[v*deg+k] = int32(splitmix64(seed*0x70007+uint64(v*deg+k)) % uint64(n))
+		}
+	}
+	for v := range p.rank[0].Raw() {
+		p.rank[0].Raw()[v] = prScale
+	}
+	return p
+}
+
+// Name implements Instance.
+func (p *PageRank) Name() string {
+	return fmt.Sprintf("pagerank(n=%d,B=%d,d=%d,it=%d,%s)", p.n, p.b, p.deg, p.iters, p.variant)
+}
+
+func (p *PageRank) blocks() int { return (p.n + p.b - 1) / p.b }
+
+// kernel computes next-ranks for the vertex block [v0, v1) of one
+// iteration: a bulk streaming scan of the whole current rank vector (the
+// teleport mass term — every block repeats it, which is the point: shared
+// data read in bulk by every parallel strand), a bulk read of the block's
+// edge segment, then a scattered gather that re-reads the rank words the
+// scan already proved race-free this generation.
+func (p *PageRank) kernel(t *futurerd.Task, cur, nxt *futurerd.Array[int64], v0, v1 int, inject bool) {
+	n := p.n
+	t.ReadRange(cur.Addr(0), n) // streaming scan: whole shared rank vector
+	curRaw := cur.Raw()
+	var total int64
+	for _, r := range curRaw {
+		total += r
+	}
+	e0, e1 := v0*p.deg, v1*p.deg
+	t.ReadRange(p.edges.Addr(e0), e1-e0) // this block's CSR segment
+	edgeRaw := p.edges.Raw()
+	t.WriteRange(nxt.Addr(v0), v1-v0)
+	nxtRaw := nxt.Raw()
+	teleport := (100 - prDamping) * (total / int64(n)) / 100
+	for v := v0; v < v1; v++ {
+		var sum int64
+		for k := 0; k < p.deg; k++ {
+			u := int(edgeRaw[v*p.deg+k])
+			// Gather: an instrumented re-read of a shared rank word the
+			// bulk scan above already covered (read-shared epoch skip).
+			t.Read(cur.Addr(u))
+			sum += curRaw[u] / int64(p.deg)
+		}
+		nxtRaw[v] = teleport + prDamping*sum/100
+	}
+	if inject {
+		// The deliberate bug: write into the vector every sibling block is
+		// reading this iteration.
+		cur.Set(t, 0, curRaw[0]+1)
+	}
+}
+
+// Run implements Instance.
+func (p *PageRank) Run(t *futurerd.Task) {
+	nb := p.blocks()
+	// Reset rank state so instances are reusable across runs.
+	for v := range p.rank[0].Raw() {
+		p.rank[0].Raw()[v] = prScale
+		p.rank[1].Raw()[v] = 0
+	}
+	injectAt := -1
+	if p.InjectRace {
+		injectAt = (p.iters/2)*nb + nb/2
+	}
+	if p.variant == StructuredFutures {
+		p.runStructured(t, nb, injectAt)
+	} else {
+		p.runGeneral(t, nb, injectAt)
+	}
+}
+
+// runStructured: per iteration, one future per block, each gotten exactly
+// once by the iteration barrier in creation order.
+func (p *PageRank) runStructured(t *futurerd.Task, nb, injectAt int) {
+	for it := 0; it < p.iters; it++ {
+		cur, nxt := p.rank[it%2], p.rank[1-it%2]
+		futs := make([]futurerd.Future[int], nb)
+		for blk := 0; blk < nb; blk++ {
+			v0, v1 := blk*p.b, min((blk+1)*p.b, p.n)
+			inject := it*nb+blk == injectAt
+			futs[blk] = futurerd.Async(t, func(ft *futurerd.Task) int {
+				p.kernel(ft, cur, nxt, v0, v1, inject)
+				return blk
+			})
+		}
+		for _, f := range futs {
+			f.Get(t)
+		}
+	}
+}
+
+// runGeneral: block futures of iteration i+1 get every future of
+// iteration i themselves (multi-touch, escaping handles); the root only
+// joins the final iteration.
+func (p *PageRank) runGeneral(t *futurerd.Task, nb, injectAt int) {
+	prev := make([]futurerd.Future[int], 0, nb)
+	for it := 0; it < p.iters; it++ {
+		cur, nxt := p.rank[it%2], p.rank[1-it%2]
+		round := make([]futurerd.Future[int], nb)
+		deps := prev
+		for blk := 0; blk < nb; blk++ {
+			v0, v1 := blk*p.b, min((blk+1)*p.b, p.n)
+			inject := it*nb+blk == injectAt
+			round[blk] = futurerd.Async(t, func(ft *futurerd.Task) int {
+				for _, d := range deps {
+					d.Get(ft) // multi-touch: every block joins every dep
+				}
+				p.kernel(ft, cur, nxt, v0, v1, inject)
+				return blk
+			})
+		}
+		prev = round
+	}
+	for _, f := range prev {
+		f.Get(t)
+	}
+}
+
+// Reference computes the final rank vector sequentially, uninstrumented.
+func (p *PageRank) Reference() []int64 {
+	n := p.n
+	cur := make([]int64, n)
+	nxt := make([]int64, n)
+	for v := range cur {
+		cur[v] = prScale
+	}
+	edges := p.edges.Raw()
+	for it := 0; it < p.iters; it++ {
+		var total int64
+		for _, r := range cur {
+			total += r
+		}
+		teleport := (100 - prDamping) * (total / int64(n)) / 100
+		for v := 0; v < n; v++ {
+			var sum int64
+			for k := 0; k < p.deg; k++ {
+				sum += cur[int(edges[v*p.deg+k])] / int64(p.deg)
+			}
+			nxt[v] = teleport + prDamping*sum/100
+		}
+		cur, nxt = nxt, cur
+	}
+	return cur
+}
+
+// Validate implements Instance.
+func (p *PageRank) Validate() error {
+	ref := p.Reference()
+	got := p.rank[p.iters%2].Raw()
+	for v := range ref {
+		if got[v] != ref[v] {
+			return fmt.Errorf("pagerank: rank[%d] = %d, want %d", v, got[v], ref[v])
+		}
+	}
+	return nil
+}

@@ -4,7 +4,11 @@
 // multiplication without temporaries (mm), binary tree merge with
 // pipelining (bst, Blelloch & Reid-Miller), Heart Wall tracking
 // (heartwall, a synthetic stand-in for the Rodinia kernel), and a dedup
-// compression pipeline (dedup, a synthetic stand-in for PARSEC dedup).
+// compression pipeline (dedup, a synthetic stand-in for PARSEC dedup) —
+// plus one benchmark beyond the paper: a blocked PageRank power-iteration
+// sweep (pagerank) whose strands bulk-read the entire shared rank vector
+// every iteration, the read-shared traffic shape the wavefront kernels
+// lack.
 //
 // Each benchmark has a structured-futures variant (single-touch handles,
 // creator before getter — detectable with MultiBags) and, except dedup, a
@@ -72,15 +76,16 @@ const (
 	SizeBench
 )
 
-// All returns the six paper benchmarks at the given size.
+// All returns the paper's six benchmarks plus pagerank at the given size.
 func All(sz SizeClass) []Benchmark {
 	type cfg struct {
-		lcsN, lcsB   int
-		swN, swB     int
-		mmN, mmB     int
-		bstN1, bstN2 int
-		hwPts, hwFr  int
-		dedupChunks  int
+		lcsN, lcsB            int
+		swN, swB              int
+		mmN, mmB              int
+		bstN1, bstN2          int
+		hwPts, hwFr           int
+		dedupChunks           int
+		prN, prB, prDeg, prIt int
 	}
 	c := cfg{
 		lcsN: 64, lcsB: 16,
@@ -89,6 +94,7 @@ func All(sz SizeClass) []Benchmark {
 		bstN1: 200, bstN2: 100,
 		hwPts: 4, hwFr: 4,
 		dedupChunks: 16,
+		prN:         96, prB: 24, prDeg: 4, prIt: 3,
 	}
 	switch sz {
 	case SizeQuick:
@@ -99,6 +105,7 @@ func All(sz SizeClass) []Benchmark {
 			bstN1: 20000, bstN2: 10000,
 			hwPts: 16, hwFr: 6,
 			dedupChunks: 64,
+			prN:         2048, prB: 256, prDeg: 8, prIt: 4,
 		}
 	case SizeBench:
 		c = cfg{
@@ -108,6 +115,7 @@ func All(sz SizeClass) []Benchmark {
 			bstN1: 80000, bstN2: 40000,
 			hwPts: 64, hwFr: 24,
 			dedupChunks: 1024,
+			prN:         16384, prB: 1024, prDeg: 8, prIt: 6,
 		}
 	}
 	return []Benchmark{
@@ -147,6 +155,11 @@ func All(sz SizeClass) []Benchmark {
 				b.FutDepth = bstDepth(sz)
 				return b
 			},
+		},
+		{
+			Name:       "pagerank",
+			Structured: func() Instance { return NewPageRank(c.prN, c.prB, c.prDeg, c.prIt, StructuredFutures, 7) },
+			General:    func() Instance { return NewPageRank(c.prN, c.prB, c.prDeg, c.prIt, GeneralFutures, 7) },
 		},
 	}
 }

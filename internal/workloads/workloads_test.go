@@ -215,6 +215,16 @@ func TestInjectedRacesDetected(t *testing.T) {
 			b.InjectRace = true
 			return b
 		}, futurerd.ModeMultiBags},
+		{"pagerank/structured", func() Instance {
+			p := NewPageRank(96, 24, 4, 3, StructuredFutures, 7)
+			p.InjectRace = true
+			return p
+		}, futurerd.ModeMultiBags},
+		{"pagerank/general", func() Instance {
+			p := NewPageRank(96, 24, 4, 3, GeneralFutures, 7)
+			p.InjectRace = true
+			return p
+		}, futurerd.ModeMultiBagsPlus},
 	}
 	for _, c := range mk {
 		ins := c.make()
@@ -245,7 +255,7 @@ func TestLookup(t *testing.T) {
 	for _, b := range All(SizeBench) {
 		names[b.Name] = true
 	}
-	for _, want := range []string{"lcs", "sw", "mm", "heartwall", "dedup", "bst"} {
+	for _, want := range []string{"lcs", "sw", "mm", "heartwall", "dedup", "bst", "pagerank"} {
 		if !names[want] {
 			t.Errorf("benchmark %s missing from registry", want)
 		}

@@ -1,0 +1,122 @@
+package futurerd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"futurerd"
+)
+
+// readSharedProgram builds the acceptance workload for the read-shared
+// epoch: k parallel writer strands install an interleaved last-writer
+// pattern over a shared range (so a later reader cannot be served by the
+// owned-word filter and thrashes the single-entry verdict memo at every
+// block boundary), then r parallel reader strands each scan the whole
+// range p times inside one construct window.
+func readSharedProgram(base uint64, words, blk, k, r, p int) func(*futurerd.Task) {
+	return func(t *futurerd.Task) {
+		futurerd.For(t, 0, k, 1, func(t *futurerd.Task, i int) {
+			for b := i * blk; b < words; b += k * blk {
+				n := blk
+				if b+n > words {
+					n = words - b
+				}
+				t.WriteRange(base+uint64(b), n)
+			}
+		})
+		for j := 0; j < r; j++ {
+			t.Spawn(func(c *futurerd.Task) {
+				for pass := 0; pass < p; pass++ {
+					c.ReadRange(base, words)
+				}
+			})
+		}
+		t.Sync()
+	}
+}
+
+// TestReadSharedRepeatedReadsQueryFree is the engine-level acceptance
+// check for the read-shared fast path: repeated scans of a shared range
+// at a fixed generation must add zero reachability queries beyond each
+// strand's first pass — so p passes cost what one pass costs, a ≥ p×
+// query reduction over the per-pass protocol.
+func TestReadSharedRepeatedReadsQueryFree(t *testing.T) {
+	const words, blk, k, r = 1 << 14, 64, 4, 3
+	arr := futurerd.NewArray[int64](words)
+	base := arr.Addr(0)
+	queries := func(p int, workers int) (uint64, uint64) {
+		rep := futurerd.Detect(futurerd.Config{
+			Mode: futurerd.ModeMultiBags, Mem: futurerd.MemFull, Workers: workers,
+		}, readSharedProgram(base, words, blk, k, r, p))
+		if rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+		if rep.Racy() {
+			t.Fatalf("race-free program raced: %v", rep.Races[0])
+		}
+		return rep.Stats.Reach.Queries, rep.Stats.Shadow.ReadSharedSkips
+	}
+	for _, workers := range []int{0, 4} {
+		q1, _ := queries(1, workers)
+		q4, skips := queries(4, workers)
+		if q4 != q1 {
+			t.Fatalf("workers=%d: 4 passes made %d queries, 1 pass made %d — re-reads are not free",
+				workers, q4, q1)
+		}
+		if want := uint64(3 * r * words); skips != want {
+			t.Fatalf("workers=%d: ReadSharedSkips = %d, want %d", workers, skips, want)
+		}
+	}
+}
+
+// BenchmarkAccessHistoryReadShared times the read-shared workload shape —
+// parallel writers, then parallel readers re-scanning the whole shared
+// range — and reports the reachability queries per read, the metric the
+// fast path exists to crush: without the per-word stamps every pass pays
+// one query per writer-block boundary; with them only each strand's first
+// pass does.
+func BenchmarkAccessHistoryReadShared(b *testing.B) {
+	const words, blk, k, r, p = 1 << 16, 64, 4, 2, 4
+	arr := futurerd.NewArray[int64](words)
+	base := arr.Addr(0)
+	prog := readSharedProgram(base, words, blk, k, r, p)
+	var queries, reads uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := futurerd.Detect(futurerd.Config{
+			Mode: futurerd.ModeMultiBags, Mem: futurerd.MemFull,
+		}, prog)
+		if rep.Racy() {
+			b.Fatal("unexpected race")
+		}
+		queries, reads = rep.Stats.Reach.Queries, rep.Stats.Shadow.Reads
+	}
+	b.ReportMetric(float64(r*p*words), "readwords/op")
+	b.ReportMetric(float64(queries)/float64(reads), "queries/read")
+}
+
+// BenchmarkChunkWords sweeps the parallel range chunk granule
+// (Config.WorkerChunk) over a bulk seqscan so DefaultChunkWords can be
+// picked from data; chunk=0 is the shipped default.
+func BenchmarkChunkWords(b *testing.B) {
+	const words = 1 << 20
+	arr := futurerd.NewArray[int64](words)
+	base := arr.Addr(0)
+	for _, chunk := range []int{0, 2048, 4096, 8192, 16384, 32768, 65536} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := futurerd.Detect(futurerd.Config{
+					Mode: futurerd.ModeMultiBags, Mem: futurerd.MemFull,
+					Workers: 4, WorkerChunk: chunk,
+				}, func(t *futurerd.Task) {
+					t.WriteRange(base, words)
+					t.ReadRange(base, words)
+				})
+				if rep.Racy() {
+					b.Fatal("unexpected race")
+				}
+			}
+			b.ReportMetric(float64(2*words), "words/op")
+		})
+	}
+}

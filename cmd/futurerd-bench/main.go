@@ -36,6 +36,7 @@ func main() {
 	validate := flag.Bool("validate", false, "re-validate outputs against sequential references")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	workers := flag.Int("workers", 0, "shadow range worker pool width for the detecting configs (<=1 serial)")
+	consumers := flag.Int("consumers", 0, "detection consumer pool width for the detecting configs (<=1 single consumer)")
 	traces := flag.String("traces", "traces", "directory of the committed trace corpus (replay table)")
 	flag.Parse()
 
@@ -51,7 +52,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -size %q\n", *size)
 		os.Exit(2)
 	}
-	opts := bench.Options{Iters: *iters, Size: sz, Validate: *validate, Workers: *workers}
+	opts := bench.Options{
+		Iters: *iters, Size: sz, Validate: *validate,
+		Workers: *workers, Consumers: *consumers,
+	}
 
 	type gen struct {
 		name string
@@ -63,7 +67,7 @@ func main() {
 			return bench.FigReplay(o, *traces)
 		}},
 	}
-	out := bench.JSONReport{Size: *size, Iters: opts.Iters, Workers: opts.Workers}
+	out := bench.JSONReport{Size: *size, Iters: opts.Iters, Workers: opts.Workers, Consumers: opts.Consumers}
 	ran := false
 	for _, g := range gens {
 		if *table != "all" && *table != g.name {

@@ -72,6 +72,12 @@ func counterRow(m *bench.Measurement) map[string]uint64 {
 		"shadow.owned":      s.Shadow.OwnedSkips,
 		"shadow.readshared": s.Shadow.ReadSharedSkips,
 		"shadow.memo":       s.Shadow.MemoHits,
+		"event.batches":     s.Event.Batches,
+		"event.independent": s.Event.IndependentBatches,
+		"event.serialized":  s.Event.SerializedBatches,
+		"event.fpspans":     s.Event.FootprintSpans,
+		"event.fppages":     s.Event.FootprintPages,
+		"event.collapsed":   s.Event.CollapsedFootprints,
 	}
 }
 
@@ -95,9 +101,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if base.Size != cur.Size || base.Workers != cur.Workers {
-		fmt.Fprintf(os.Stderr, "configuration mismatch: baseline size=%s workers=%d, current size=%s workers=%d\n",
-			base.Size, base.Workers, cur.Size, cur.Workers)
+	if base.Size != cur.Size || base.Workers != cur.Workers || base.Consumers != cur.Consumers {
+		fmt.Fprintf(os.Stderr,
+			"configuration mismatch: baseline size=%s workers=%d consumers=%d, current size=%s workers=%d consumers=%d\n",
+			base.Size, base.Workers, base.Consumers, cur.Size, cur.Workers, cur.Consumers)
 		os.Exit(1)
 	}
 

@@ -4,10 +4,11 @@
 //	futurerd-trace run    -bench lcs [-variant structured|general]
 //	                      [-mode multibags|multibags+|spbags|oracle]
 //	                      [-size test|quick|bench] [-mem off|instr|full]
-//	                      [-workers n] [-dot]
+//	                      [-workers n] [-consumers n] [-dot]
 //	futurerd-trace record -bench lcs [-variant ...] [-size ...]
 //	                      [-format v2|v1] -o trace.bin
 //	futurerd-trace replay -i trace.bin [-mode ...] [-mem ...] [-workers n]
+//	                      [-consumers n]
 //	futurerd-trace stat   -i trace.bin
 //
 // run executes one benchmark under a chosen detection algorithm and
@@ -150,6 +151,14 @@ func printReport(rep *futurerd.Report, ml futurerd.MemLevel) {
 			fmt.Printf("par fan-outs    %d ranges, %d chunks\n",
 				s.Shadow.ParRanges, s.Shadow.ParChunks)
 		}
+		fmt.Printf("batches         %d sealed (%d independent, %d serialized)\n",
+			s.Event.Batches, s.Event.IndependentBatches, s.Event.SerializedBatches)
+		fmt.Printf("footprints      %d spans over %d pages",
+			s.Event.FootprintSpans, s.Event.FootprintPages)
+		if s.Event.CollapsedFootprints > 0 {
+			fmt.Printf(" (%d collapsed to hull)", s.Event.CollapsedFootprints)
+		}
+		fmt.Println()
 	}
 	for _, r := range rep.Races {
 		fmt.Printf("  %s\n", r)
@@ -164,13 +173,14 @@ func cmdRun(args []string) {
 	size := parseSize(fs)
 	mem := fs.String("mem", "full", "memory level: off, instr, full")
 	workers := fs.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
+	consumers := fs.Int("consumers", 0, "detection consumer pool width (<=1 single consumer)")
 	dot := fs.Bool("dot", false, "dump the computation dag as Graphviz (oracle mode)")
 	fs.Parse(args)
 
 	mk := lookup(*benchName, *variant, sizeClass(*size))
 	m, ml := parseMode(*mode), parseMem(*mem)
 	w := mk()
-	rep := futurerd.Detect(futurerd.Config{Mode: m, Mem: ml, Workers: *workers}, w.Run)
+	rep := futurerd.Detect(futurerd.Config{Mode: m, Mem: ml, Workers: *workers, Consumers: *consumers}, w.Run)
 	if rep.Err != nil {
 		fail(fmt.Errorf("engine error: %w", rep.Err))
 	}
@@ -235,6 +245,7 @@ func cmdReplay(args []string) {
 	mode := fs.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle")
 	mem := fs.String("mem", "full", "memory level: off, instr, full")
 	workers := fs.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
+	consumers := fs.Int("consumers", 0, "detection consumer pool width (<=1 single consumer)")
 	fs.Parse(args)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "replay: -i is required")
@@ -246,7 +257,7 @@ func cmdReplay(args []string) {
 		fail(err)
 	}
 	defer f.Close()
-	rep, err := futurerd.ReplayTrace(f, futurerd.Config{Mode: m, Mem: ml, Workers: *workers})
+	rep, err := futurerd.ReplayTrace(f, futurerd.Config{Mode: m, Mem: ml, Workers: *workers, Consumers: *consumers})
 	if err != nil {
 		fail(fmt.Errorf("replay failed: %w", err))
 	}

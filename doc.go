@@ -62,24 +62,44 @@
 //
 // # Event pipeline
 //
-// The detection stack is front-ends → batcher → detection back-end.
-// Every execution front-end (a live program under Detect, a recorded
-// trace under ReplayTrace, a generated workload) appends its accesses to
-// coalescing event batches (internal/event): contiguous same-kind
-// accesses merge into ranges before they reach the shadow layer, so even
-// word-at-a-time code pays the per-range, not per-word, cost. Batches
-// are sealed at parallel constructs — where the reachability relation is
-// about to mutate — so everything in one batch executed under a single
-// immutable relation. With Config.Workers > 1 sealed batches are checked
-// on a back-end goroutine overlapping continued program execution, and
-// constructs do not wait for them: the relation is versioned
-// (core.Versioned), constructs record their mutations into a bounded log,
-// each batch carries the version it executed under, and the back-end
-// consumer replays mutations up to exactly that version before checking
-// the batch. The engine runs ahead of detection until the
-// construct-ahead window (Config.ConstructAhead) back-pressures.
+// The detection stack is front-ends → batcher → scheduler → consumer
+// pool. Every execution front-end (a live program under Detect, a
+// recorded trace under ReplayTrace, a generated workload) appends its
+// accesses to coalescing event batches (internal/event): contiguous
+// same-kind accesses merge into ranges before they reach the shadow
+// layer, so even word-at-a-time code pays the per-range, not per-word,
+// cost. Batches are sealed at parallel constructs — where the
+// reachability relation is about to mutate — so everything in one batch
+// executed under a single immutable relation, and each leaves with a
+// footprint: its strand plus a compact summary of the shadow pages it
+// touches. With Config.Workers > 1 or Config.Consumers > 1 sealed
+// batches are checked off the engine goroutine, overlapping continued
+// program execution, and constructs do not wait for them: the relation
+// is versioned (core.Versioned), constructs record their mutations into
+// a bounded log, each batch carries the version it executed under, and
+// the back-end replays mutations before checking. The engine runs ahead
+// of detection until the construct-ahead window (Config.ConstructAhead)
+// back-pressures.
+//
+// With Config.Consumers > 1 the back-end is a dependency-scheduled
+// consumer pool: a scheduler goroutine groups the batch stream into
+// windows of mutually independent batches — disjoint page footprints,
+// distinct strands, and no conflicting construct mutation between them
+// (sync joins and future gets are barriers; a return conflicts exactly
+// with in-flight batches of its own subtree's strand span) — applies the
+// window's mutations while the pool is quiescent, pins the relation
+// snapshot, and dispatches the whole window across idle consumers.
+// Dependent batches serialize in seal order, so a construct-dense
+// program degenerates to the single-consumer pipeline rather than
+// deadlocking. A sequence-numbered reorder buffer in front of OnRace
+// delivers race reports in seal order. CheckStructured's discipline
+// query no longer drains the pipeline either: it is deferred and
+// answered from the versioned snapshot in stream order (a violation is
+// recorded, never acted on, so nothing needs the answer eagerly).
 // Verdicts, report order and deterministic counters are identical to a
-// synchronous run.
+// synchronous run for every Workers × Consumers combination; a shadow
+// install audit asserts the disjoint-footprint invariant at run time and
+// the -race CI suite drives it.
 //
 // # Traces
 //
@@ -104,6 +124,9 @@
 // <= 1 (the default) keeps every access on the exact serial path. The
 // pool engages for SP-Bags, MultiBags and MultiBags+; oracle and Verify
 // runs always stay serial. Config.WorkerChunk tunes the chunk granule.
+// Workers composes with Consumers: Workers parallelizes within one bulk
+// range, Consumers across independent batches, and both share one worker
+// pool.
 //
 // # Parallel execution
 //

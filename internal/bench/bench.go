@@ -39,6 +39,7 @@ type JSONReport struct {
 	Size         string        `json:"size"`
 	Iters        int           `json:"iters"`
 	Workers      int           `json:"workers,omitempty"`
+	Consumers    int           `json:"consumers,omitempty"`
 	Measurements []Measurement `json:"measurements"`
 }
 
@@ -74,6 +75,10 @@ type Options struct {
 	// ranges fan out across a shadow worker pool of this width. <=1 keeps
 	// the serial path.
 	Workers int
+	// Consumers sets Config.Consumers for the detecting configurations:
+	// independent sealed batches are checked concurrently by a consumer
+	// pool of this width. <=1 keeps the single-consumer back-end.
+	Consumers int
 }
 
 func (o *Options) defaults() {
@@ -138,7 +143,10 @@ func timeRun(opts Options, ins workloads.Instance, mode futurerd.Mode, mem futur
 		futurerd.RunSeq(ins.Run)
 		return time.Since(start), nil
 	}
-	rep := futurerd.Detect(futurerd.Config{Mode: mode, Mem: mem, Workers: opts.Workers}, ins.Run)
+	rep := futurerd.Detect(futurerd.Config{
+		Mode: mode, Mem: mem,
+		Workers: opts.Workers, Consumers: opts.Consumers,
+	}, ins.Run)
 	return time.Since(start), rep
 }
 
@@ -242,6 +250,18 @@ func readSharedPct(rep *futurerd.Report) string {
 	return skipPct(rep, func(s futurerd.Stats) uint64 { return s.Shadow.ReadSharedSkips })
 }
 
+// indepPct renders the fraction of sealed batches classified independent
+// of their predecessor — the (deterministic) pairwise form of the
+// multi-consumer scheduler's concurrency condition, so it reads as "how
+// much of this workload's batch stream a consumer pool can overlap".
+func indepPct(rep *futurerd.Report) string {
+	if rep == nil || rep.Stats.Event.Batches == 0 {
+		return "-"
+	}
+	ev := rep.Stats.Event
+	return fmt.Sprintf("%.0f%%", 100*float64(ev.IndependentBatches)/float64(ev.Batches))
+}
+
 // figure runs one of the paper's overhead tables (Figure 6 for structured
 // variants under MultiBags, Figure 7 for general variants under
 // MultiBags+).
@@ -249,7 +269,7 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 	opts.defaults()
 	t := &Table{
 		Title:  title,
-		Header: []string{"bench", "baseline", "reach", "", "instr", "", "full", "", "owned", "rdshare"},
+		Header: []string{"bench", "baseline", "reach", "", "instr", "", "full", "", "owned", "rdshare", "indep"},
 	}
 	var ms []Measurement
 	var reachR, instrR, fullR []float64
@@ -267,7 +287,7 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 			secs(reach), ratio(reach, base),
 			secs(instr), ratio(instr, base),
 			secs(full), ratio(full, base),
-			ownedPct(fullRep), readSharedPct(fullRep),
+			ownedPct(fullRep), readSharedPct(fullRep), indepPct(fullRep),
 		})
 		ms = append(ms,
 			Measurement{Figure: name, Bench: b.Name, Config: "baseline", Seconds: base.Seconds()},
@@ -292,7 +312,9 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 	t.Notes = append(t.Notes,
 		"times are seconds (min of iterations); (x) columns are overhead vs baseline;",
 		"owned/rdshare = full-config accesses resolved by the shadow owned-word and",
-		"read-shared epoch fast paths (disjoint; each access counts at most once)")
+		"read-shared epoch fast paths (disjoint; each access counts at most once);",
+		"indep = sealed batches independent of their predecessor (what a multi-",
+		"consumer back-end can check concurrently)")
 	return t, ms, nil
 }
 
@@ -342,7 +364,7 @@ func FigReplay(opts Options, dir string) (*Table, []Measurement, error) {
 		}
 		cfg := futurerd.Config{
 			Mode: futurerd.ModeMultiBagsPlus, Mem: futurerd.MemFull,
-			Workers: opts.Workers,
+			Workers: opts.Workers, Consumers: opts.Consumers,
 		}
 		best := time.Duration(math.MaxInt64)
 		var rep *futurerd.Report

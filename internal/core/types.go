@@ -55,10 +55,16 @@ type CreateRec struct {
 // ReturnRec reports that function Fn finished executing; Last is its final
 // strand (the sink of its SP dag). ParentFn is the function that spawned
 // or created Fn (needed by the SP-Bags baseline, whose return rule moves
-// the child's bag into the parent's P-bag).
+// the child's bag into the parent's P-bag). First is the function's first
+// strand; the engine allocates strand ids densely in depth-first execution
+// order, so [First, Last] spans every strand of Fn's subtree — the
+// multi-consumer scheduler uses the span to decide which in-flight batches
+// a return's bag retagging could affect. The reachability algorithms
+// ignore it.
 type ReturnRec struct {
 	Fn       FnID
 	ParentFn FnID
+	First    StrandID
 	Last     StrandID
 }
 

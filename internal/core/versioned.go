@@ -20,9 +20,23 @@
 // submitting an empty version-bearing batch (a "nudge") before it can
 // block, so a construct-dense stretch with no memory traffic still makes
 // progress.
+//
+// # Concurrent snapshot reads
+//
+// With a multi-consumer back-end several goroutines query the underlying
+// Reach at once, all under one pinned version: the scheduler applies
+// mutations up to a window's version, calls Pin, dispatches the window's
+// batches to the consumer pool, and calls Unpin only after every consumer
+// is idle again. While a pin is held the relation is frozen — ApplyTo
+// refuses (panics) to advance it — so the concurrent queries are plain
+// snapshot reads, exactly the between-constructs read-only regime the
+// QueryConcurrent capability already guarantees is safe.
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // MutOp tags one recorded construct mutation.
 type MutOp uint8
@@ -99,6 +113,11 @@ type Versioned struct {
 	recorded uint64 // mutations ever recorded (the current version)
 	applied  uint64 // mutations applied to r
 	window   int
+
+	// pins counts goroutines currently reading the relation at the pinned
+	// (current applied) version; while it is non-zero the applier must not
+	// advance (ApplyTo panics).
+	pins atomic.Int64
 }
 
 // NewVersioned wraps r with a mutation log bounded to the given
@@ -161,6 +180,13 @@ func (v *Versioned) Record(m Mut) uint64 {
 // the call is the immutable snapshot at that version (until the next
 // ApplyTo call advances it).
 func (v *Versioned) ApplyTo(version uint64) {
+	if v.pins.Load() != 0 {
+		// Advancing the relation while a consumer reads it at the pinned
+		// version would hand that consumer a snapshot newer than the one
+		// its batch executed under — a detector bug, not a recoverable
+		// condition.
+		panic("core: Versioned.ApplyTo while a snapshot pin is held")
+	}
 	v.mu.Lock()
 	for v.applied < version && v.head < len(v.pending) {
 		m := &v.pending[v.head]
@@ -180,4 +206,19 @@ func (v *Versioned) ApplyTo(version uint64) {
 // is active (back-end drained or stopped).
 func (v *Versioned) Drain() {
 	v.ApplyTo(v.recorded)
+}
+
+// Pin marks the current applied version as shared-read-pinned: any number
+// of goroutines may query the underlying Reach concurrently (through its
+// QueryConcurrent-safe read path) until the matching Unpin, and ApplyTo
+// panics if asked to advance the relation in between. Pins nest.
+func (v *Versioned) Pin() {
+	v.pins.Add(1)
+}
+
+// Unpin releases one Pin.
+func (v *Versioned) Unpin() {
+	if v.pins.Add(-1) < 0 {
+		panic("core: Versioned.Unpin without a matching Pin")
+	}
 }

@@ -124,3 +124,47 @@ func TestStrandTableConcurrentReads(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", st.Len(), n)
 	}
 }
+
+// TestVersionedPinBlocksApply pins the snapshot-read discipline: while
+// any consumer holds a pin the relation must be frozen — ApplyTo is a
+// detector bug and panics — and once every pin is released application
+// resumes normally. Unbalanced Unpin panics too.
+func TestVersionedPinBlocksApply(t *testing.T) {
+	st := NewStrandTable(4)
+	v := NewVersioned(NewMultiBags(st), 8)
+	v.Record(Mut{Op: MutInit, InitFn: 1, InitS: 1})
+	st.Add(1, 1)
+
+	v.Pin()
+	v.Pin() // pins nest
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ApplyTo under a live pin did not panic")
+			}
+		}()
+		v.ApplyTo(1)
+	}()
+	v.Unpin()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ApplyTo under the remaining pin did not panic")
+			}
+		}()
+		v.Drain()
+	}()
+	v.Unpin()
+	v.Drain() // quiescent again: applies fine
+	if got := v.Lag(); got != 0 {
+		t.Fatalf("Lag after drain = %d, want 0", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unbalanced Unpin did not panic")
+			}
+		}()
+		v.Unpin()
+	}()
+}

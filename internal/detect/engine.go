@@ -81,6 +81,32 @@ type Engine struct {
 	// across (Config.Workers > 1 and a concurrent-query-safe algorithm).
 	pool *shadow.Pool
 
+	// consumers is the effective width of the detection consumer pool
+	// (Config.Consumers clamped by eligibility: concurrent-query-safe
+	// algorithm, no Verify, no oracle).
+	consumers int
+
+	// Dependency classification of construct mutations, accumulated on
+	// the engine goroutine between pipeline items (depBarrier/depSpans,
+	// consumed by stampDep at every submit) and between sealed non-empty
+	// batches (statBarrier/statSpans, consumed by noteBatchStats). A
+	// barrier is a mutation that can change existing query answers (sync
+	// join, future get); a span names the subtree a return retags.
+	depBarrier  bool
+	depSpans    []event.StrandSpan
+	statBarrier bool
+	statSpans   []event.StrandSpan
+
+	// Batch-pipeline stats (Stats.Event), counted at seal time on the
+	// engine goroutine in every pipeline mode, so they are deterministic
+	// and identical across Consumers/Workers configurations. prevFP,
+	// prevStrand and havePrev hold the previous sealed batch's footprint
+	// for the pairwise independence classification.
+	evStats    event.Stats
+	prevFP     event.Footprint
+	prevStrand core.StrandID
+	havePrev   bool
+
 	// batch is the open access-event batch: Read/Write append to it
 	// (coalescing contiguous same-kind accesses into ranges) and the
 	// whole batch is handed to the detection back-end at the next
@@ -90,13 +116,15 @@ type Engine struct {
 	batchOps int
 
 	// be, when non-nil, is the asynchronous detection back-end: sealed
-	// batches are checked on its goroutine while the program keeps
-	// executing — across parallel constructs too, because each batch
-	// carries the version of the reachability relation it was recorded
-	// under and the consumer applies construct mutations (from vr) in
-	// batch order, so in-flight checks only ever see the immutable
-	// snapshot they were recorded under.
-	be *backend
+	// batches are checked off the engine goroutine while the program
+	// keeps executing — across parallel constructs too, because each
+	// batch carries the version of the reachability relation it was
+	// recorded under and the back-end applies construct mutations (from
+	// vr) so every in-flight check observes a snapshot answering its
+	// queries exactly as the batch's own version would. With Consumers >
+	// 1 it is a dependency-scheduled consumer pool (see sched.go);
+	// otherwise a single consumer goroutine in seal order.
+	be *pipeline
 
 	labels map[core.FnID]string
 
@@ -206,11 +234,11 @@ func NewEngine(cfg Config) *Engine {
 }
 
 // initPipeline sets up the access-event batch layer: every engine that
-// observes memory accesses batches them, and Workers > 1 additionally
-// runs batch detection asynchronously on the back-end goroutine,
-// overlapping it with continued program execution. An asynchronous
-// detecting engine also versions its reachability relation so constructs
-// need not block on back-end drain.
+// observes memory accesses batches them, and Workers > 1 or Consumers > 1
+// additionally runs batch detection asynchronously off the engine
+// goroutine, overlapping it with continued program execution. An
+// asynchronous detecting engine also versions its reachability relation
+// so constructs need not block on back-end drain.
 func (e *Engine) initPipeline(cfg Config) {
 	if e.hist == nil {
 		return
@@ -220,8 +248,14 @@ func (e *Engine) initPipeline(cfg Config) {
 	if e.batchOps <= 0 {
 		e.batchOps = event.MaxOps
 	}
-	if cfg.Workers > 1 {
-		e.be = newBackend(e)
+	e.consumers = cfg.Consumers
+	if e.consumers < 1 {
+		e.consumers = 1
+	}
+	if e.consumers > 1 && !e.consumersEligible(cfg) {
+		e.consumers = 1
+	}
+	if cfg.Workers > 1 || e.consumers > 1 {
 		if e.detecting {
 			e.vr = core.NewVersioned(e.reach, cfg.ConstructAhead)
 			e.nudgeAt = e.vr.Window() / 2
@@ -229,14 +263,135 @@ func (e *Engine) initPipeline(cfg Config) {
 				e.nudgeAt = 1
 			}
 		}
+		if e.consumers > 1 {
+			// Debug assertion backing the whole-pipeline invariant:
+			// concurrently-checked batches touch disjoint shadow pages.
+			// Cheap (a few span comparisons per batch), so it is always on
+			// when the consumer pool is, and the -race CI suite runs it.
+			e.hist.EnableInstallAudit()
+		}
+		e.be = newPipeline(e, e.consumers)
 	}
+}
+
+// consumersEligible reports whether the multi-consumer back-end may run:
+// its consumers query the reachability relation concurrently (under a
+// pinned snapshot), so the algorithm must advertise QueryConcurrent;
+// Verify wraps queries in oracle cross-checks and stays serial, as does
+// the oracle itself. Instrumentation-only engines make no queries and
+// always qualify.
+func (e *Engine) consumersEligible(cfg Config) bool {
+	if !e.detecting {
+		return true // MemInstr without detection: touch traffic only
+	}
+	if cfg.Verify || cfg.Mode == ModeOracle {
+		return false
+	}
+	if cfg.Mem == MemInstr {
+		return true
+	}
+	qc, ok := e.reach.(core.QueryConcurrent)
+	return ok && qc.ConcurrentPrecedesSafe()
+}
+
+// maxDepSpans bounds either dependency-span accumulator between resets;
+// past it the accumulator degrades to a barrier (strictly more
+// conservative: a barrier subsumes every span conflict), so access-free
+// spawn storms cannot grow memory while nothing flushes.
+const maxDepSpans = 1024
+
+// addDepSpan appends sp to one accumulator under the subsumption and
+// bounding rules: a set barrier already serializes against everything a
+// span could, and an over-full accumulator collapses into one.
+func addDepSpan(barrier *bool, spans []event.StrandSpan, sp event.StrandSpan) []event.StrandSpan {
+	if *barrier {
+		return spans
+	}
+	if len(spans) >= maxDepSpans {
+		*barrier = true
+		return spans[:0]
+	}
+	return append(spans, sp)
+}
+
+// classifyMut accumulates the dependency class of one construct mutation
+// for the scheduler (dep*) and the batch stats (stat*): joins and gets
+// are barriers, returns of multi-strand subtrees carry their strand span,
+// spawns/creates/init only introduce fresh elements and are free. With no
+// batch layer (MemOff) nothing ever consumes or resets the accumulators,
+// so classification is skipped entirely.
+func (e *Engine) classifyMut(m *core.Mut) {
+	if e.batch == nil {
+		return
+	}
+	switch m.Op {
+	case core.MutJoin, core.MutGet:
+		e.depBarrier, e.statBarrier = true, true
+	case core.MutReturn:
+		if m.Return.First != m.Return.Last {
+			sp := event.StrandSpan{First: m.Return.First, Last: m.Return.Last}
+			e.depSpans = addDepSpan(&e.depBarrier, e.depSpans, sp)
+			e.statSpans = addDepSpan(&e.statBarrier, e.statSpans, sp)
+		}
+		// A single-strand subtree's return retags a bag no other strand
+		// occupies and a batch never queries its own strand, so it cannot
+		// conflict with any in-flight batch: drop the span entirely. This
+		// is what lets wide fan-outs of leaf tasks (spawn, body, return,
+		// spawn, ...) form one independent window.
+	}
+}
+
+// stampDep moves the accumulated since-last-item dependency info onto the
+// outgoing batch and resets the accumulator. Engine goroutine only.
+func (e *Engine) stampDep(b *event.Batch) {
+	b.Barrier = e.depBarrier
+	b.RetSpans = append(b.RetSpans[:0], e.depSpans...)
+	e.depBarrier = false
+	e.depSpans = e.depSpans[:0]
+}
+
+// noteBatchStats classifies one sealed non-empty batch against its
+// predecessor (the deterministic pairwise form of the scheduler's
+// independence condition) and sizes its footprint, in every pipeline
+// mode, so Stats.Event is identical across Consumers/Workers configs.
+func (e *Engine) noteBatchStats(b *event.Batch) {
+	e.evStats.Batches++
+	e.evStats.FootprintSpans += uint64(len(b.FP.Spans))
+	e.evStats.FootprintPages += b.FP.Pages()
+	if !b.FP.Exact {
+		e.evStats.CollapsedFootprints++
+	}
+	dep := !e.havePrev || e.statBarrier || b.Strand == e.prevStrand ||
+		b.FP.Overlaps(&e.prevFP)
+	if !dep {
+		for _, sp := range e.statSpans {
+			if sp.Contains(e.prevStrand) {
+				dep = true
+				break
+			}
+		}
+	}
+	if dep {
+		e.evStats.SerializedBatches++
+	} else {
+		e.evStats.IndependentBatches++
+	}
+	e.statBarrier = false
+	e.statSpans = e.statSpans[:0]
+	e.prevFP.Spans = append(e.prevFP.Spans[:0], b.FP.Spans...)
+	e.prevFP.Exact = b.FP.Exact
+	e.prevStrand = b.Strand
+	e.havePrev = true
 }
 
 // mutate applies one construct mutation to the reachability relation:
 // inline when the pipeline is synchronous, recorded into the versioned log
-// (for the back-end consumer to apply in batch order) when it is not.
+// (for the back-end to apply in batch order) when it is not. Either way
+// the mutation's dependency class is accumulated for the scheduler and
+// the batch stats.
 func (e *Engine) mutate(m core.Mut) {
 	if e.vr == nil {
+		e.classifyMut(&m)
 		m.ApplyTo(e.reach)
 		return
 	}
@@ -257,22 +412,14 @@ func (e *Engine) mutate(m core.Mut) {
 		b.Gen = e.gen
 		b.Version = rec
 		e.submittedVersion = rec
-		e.be.submit(b)
+		// The nudge carries the dependency info of the mutations recorded
+		// before it; m itself is recorded after the nudge's version and is
+		// classified below, for the next item.
+		e.stampDep(b)
+		e.be.submit(workItem{b: b})
 	}
+	e.classifyMut(&m)
 	e.vr.Record(m)
-}
-
-// drainPipeline quiesces the detection back-end and applies every pending
-// construct mutation, so the engine goroutine may query the reachability
-// relation at the current version (CheckStructured's discipline queries,
-// the final report).
-func (e *Engine) drainPipeline() {
-	if e.be != nil {
-		e.be.drain()
-	}
-	if e.vr != nil {
-		e.vr.Drain()
-	}
 }
 
 // Run executes root under the engine and returns the report.
@@ -353,6 +500,7 @@ func (e *Engine) report() *Report {
 	}
 	if e.hist != nil {
 		rep.Stats.Shadow = e.hist.Stats()
+		rep.Stats.Event = e.evStats
 	}
 	return rep
 }
@@ -445,7 +593,7 @@ func (e *Engine) EndSpawn(t, child *Task) {
 	r := child.born
 	r.childLast = child.strand
 	e.mutate(core.Mut{Op: core.MutReturn, Return: core.ReturnRec{
-		Fn: child.fn, ParentFn: t.fn, Last: r.childLast,
+		Fn: child.fn, ParentFn: t.fn, First: r.childFirst, Last: r.childLast,
 	}})
 	t.spawns = append(t.spawns, r)
 	t.strand = r.cont
@@ -523,7 +671,7 @@ func (e *Engine) EndFut(t, child *Task, h *Fut, val any) {
 	h.last = child.strand
 	h.done = true
 	e.mutate(core.Mut{Op: core.MutReturn, Return: core.ReturnRec{
-		Fn: h.fn, ParentFn: t.fn, Last: h.last,
+		Fn: h.fn, ParentFn: t.fn, First: h.first, Last: h.last,
 	}})
 	t.strand = child.born.cont
 }
@@ -545,20 +693,33 @@ func (e *Engine) GetFut(t *Task, h *Fut) any {
 	getter := t.strand
 	h.touches++
 	if e.cfg.CheckStructured {
-		if h.touches == 2 {
-			e.violate("multi-touch", fmt.Sprintf(
-				"future fn %d touched more than once (second get at strand %d)",
-				h.fn, getter))
+		// The discipline query (creator sequentially precedes getter) must
+		// see the relation at exactly this construct's version. The engine
+		// no longer drains the back-end for it: with an asynchronous
+		// pipeline the check is deferred — enqueued in stream order and
+		// answered from the versioned snapshot once the back-end has
+		// applied this version — because a violation is recorded, never
+		// acted on, so nothing downstream needs the answer eagerly. The
+		// synchronous pipeline's relation is always current and evaluates
+		// inline.
+		d := &discCheck{
+			futFn:   h.fn,
+			creator: h.creatorStrand,
+			getter:  getter,
+			touches: h.touches,
 		}
-		// The discipline query runs on the engine goroutine against the
-		// current relation, so the pipeline must be caught up first. This
-		// is the one construct that still drains — only in CheckStructured
-		// runs, which trade throughput for the extra checking by design.
-		e.drainPipeline()
-		if !e.reach.Precedes(h.creatorStrand, getter) {
-			e.violate("unordered-create-get", fmt.Sprintf(
-				"create at strand %d does not sequentially precede get at strand %d",
-				h.creatorStrand, getter))
+		if e.be != nil {
+			b := event.New()
+			b.Strand = getter
+			b.Gen = e.gen
+			if e.vr != nil {
+				b.Version = e.vr.Recorded()
+				e.submittedVersion = b.Version
+			}
+			e.stampDep(b)
+			e.be.submit(workItem{b: b, disc: d})
+		} else {
+			e.evalDisc(d)
 		}
 	}
 	cont := e.newStrand(t.fn)
@@ -629,26 +790,30 @@ func (e *Engine) seal() {
 
 // flushBatch hands the open batch to the detection back-end: inline on
 // the engine goroutine when the pipeline is synchronous, queued to the
-// back-end goroutine (overlapping continued execution) when it is not.
-// The batch is stamped with the current construct generation and relation
-// version either way.
+// back-end (overlapping continued execution) when it is not. The batch is
+// stamped with the current construct generation, relation version, page
+// footprint and dependency info either way, and the batch-pipeline stats
+// are counted here so they are identical across pipeline modes.
 func (e *Engine) flushBatch() {
 	if len(e.batch.Ops) == 0 {
 		return
 	}
-	e.batch.Gen = e.gen
+	b := e.batch
+	b.Gen = e.gen
 	if e.vr != nil {
-		e.batch.Version = e.vr.Recorded()
-		e.submittedVersion = e.batch.Version
+		b.Version = e.vr.Recorded()
+		e.submittedVersion = b.Version
 	}
+	b.Summarize(shadow.PageBits)
+	e.noteBatchStats(b)
+	e.stampDep(b)
 	if e.be != nil {
-		full := e.batch
 		e.batch = event.New()
-		e.be.submit(full)
+		e.be.submit(workItem{b: b})
 		return
 	}
-	e.processBatch(e.batch)
-	e.batch.Reset()
+	e.processBatch(b)
+	b.Reset()
 }
 
 // processBatch runs detection over one sealed batch. Every op in the
@@ -663,6 +828,10 @@ func (e *Engine) processBatch(b *event.Batch) {
 	if e.vr != nil {
 		e.vr.ApplyTo(b.Version)
 	}
+	// Every batch starts with a cold verdict memo, here exactly as on the
+	// multi-consumer views, so memo-hit counters cannot depend on which
+	// pipeline checked the batch.
+	e.hist.ResetBatchCaches()
 	if e.mem == MemFull {
 		// A local context carries the batch's own generation; the
 		// prototype's relation pointer and race sinks are immutable.
@@ -690,64 +859,6 @@ func (e *Engine) processBatch(b *event.Batch) {
 	for i := range b.Ops {
 		e.hist.TouchRangePar(b.Ops[i].Addr, b.Ops[i].Words, e.pool)
 	}
-}
-
-// backend is the asynchronous detection back-end: one consumer goroutine
-// that checks sealed batches while the engine goroutine keeps executing
-// the program. A single consumer preserves the serial batch order — and
-// with it the exact verdicts, counters and report order of a synchronous
-// run — while each batch's bulk ranges may still fan out across the
-// worker pool. The consumer is also the relation's applier: it replays
-// each batch's pending construct mutations before checking it, so the
-// engine goroutine can run ahead through constructs without waiting.
-// Memory ordering: a batch is published by the channel send, and the
-// final drain observes all of the consumer's shadow and counter writes
-// via pending.Wait. The channel buffer is the batch half of the
-// construct-ahead window: the engine double-buffers at least this many
-// sealed batches before a send can block.
-type backend struct {
-	ch      chan *event.Batch
-	pending sync.WaitGroup
-	stopped sync.Once
-
-	// testHook, when non-nil, runs on the consumer goroutine before each
-	// batch is checked; pipeline tests use it to hold a batch in flight
-	// and prove constructs do not wait for it.
-	testHook func(*event.Batch)
-}
-
-func newBackend(e *Engine) *backend {
-	be := &backend{ch: make(chan *event.Batch, 16)}
-	go func() {
-		for b := range be.ch {
-			if be.testHook != nil {
-				be.testHook(b)
-			}
-			e.processBatch(b)
-			event.Recycle(b)
-			be.pending.Done()
-		}
-	}()
-	return be
-}
-
-func (be *backend) submit(b *event.Batch) {
-	be.pending.Add(1)
-	be.ch <- b
-}
-
-// drain blocks until every submitted batch has been checked.
-func (be *backend) drain() { be.pending.Wait() }
-
-// stop drains and releases the consumer goroutine. Idempotent, nil-safe.
-func (be *backend) stop() {
-	if be == nil {
-		return
-	}
-	be.stopped.Do(func() {
-		be.pending.Wait()
-		close(be.ch)
-	})
 }
 
 // pairSig condenses a race's identity beyond its address — the strand

@@ -174,11 +174,13 @@ func TestConstructAheadEquivalence(t *testing.T) {
 	}
 }
 
-// TestCheckStructuredDrainsBeforeQuery pins the one construct that still
-// drains: CheckStructured's discipline query runs on the engine goroutine
-// and must see the fully-applied relation even when batches and construct
-// mutations are in flight.
-func TestCheckStructuredDrainsBeforeQuery(t *testing.T) {
+// TestCheckStructuredQuerySeesGetVersion pins the deferred discipline
+// check: CheckStructured's creator-precedes-getter query no longer
+// drains the back-end — it is enqueued in stream order and answered from
+// the versioned snapshot at (or safely after) the get's version — and
+// must still judge a structured program violation-free even when batches
+// and construct mutations are in flight.
+func TestCheckStructuredQuerySeesGetVersion(t *testing.T) {
 	for _, workers := range []int{1, 2} {
 		rep := NewEngine(Config{
 			Mode: ModeMultiBagsPlus, Mem: MemFull,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"futurerd/internal/core"
+	"futurerd/internal/event"
 	"futurerd/internal/shadow"
 )
 
@@ -96,6 +97,23 @@ type Config struct {
 	// than two chunks stay serial. Exposed for tuning and for tests that
 	// need to exercise the fan-out on small ranges.
 	WorkerChunk int
+
+	// Consumers sets the width of the detection consumer pool: sealed
+	// access batches whose footprints are independent — disjoint shadow
+	// pages, distinct strands, and no conflicting construct mutation
+	// between them — are checked concurrently by up to this many
+	// consumers, each under the same pinned snapshot of the versioned
+	// reachability relation; dependent batches serialize in seal order. A
+	// dependency-aware scheduler groups the batch stream into windows and
+	// a sequence-numbered reorder buffer keeps race delivery in seal
+	// order, so reports are verdict-, order- and counter-identical to a
+	// serial run for any Consumers (and any Workers) setting. Consumers
+	// <= 1 keeps the single-consumer back-end; > 1 requires an algorithm
+	// with a concurrent-safe query path (SP-Bags, MultiBags, MultiBags+ —
+	// the oracle and Verify runs fall back to one consumer). Consumers is
+	// independent of Workers: Workers parallelizes within one bulk range,
+	// Consumers across batches; they compose.
+	Consumers int
 
 	// BatchOps overrides the op cap of one access-event batch (0 means
 	// event.MaxOps): a batch that reaches the cap flushes mid-window so
@@ -206,6 +224,12 @@ type Stats struct {
 
 	Reach  core.ReachStats
 	Shadow shadow.Stats
+	// Event counts batch-pipeline traffic: sealed batches, the
+	// deterministic pairwise independent/serialized classification the
+	// multi-consumer scheduler's window rules are built from, and
+	// footprint summary sizes. Counted at seal time on the engine
+	// goroutine, so identical across Workers/Consumers configurations.
+	Event event.Stats
 }
 
 // Report is the outcome of a detection run.

@@ -1,0 +1,431 @@
+// The asynchronous detection pipeline: sealed batches are checked off the
+// engine goroutine while the program keeps executing.
+//
+// With Config.Consumers <= 1 the pipeline is the single-consumer stream
+// the event-batch design introduced: one goroutine applies each batch's
+// pending construct mutations and checks it, in seal order, which
+// trivially preserves the serial report.
+//
+// With Config.Consumers > 1 the pipeline becomes a dependency-scheduled
+// consumer pool driven by a scheduler goroutine. The scheduler groups the
+// item stream into windows — maximal runs of mutually independent batches
+// — and runs each window as one epoch:
+//
+//	drain → apply construct mutations up to the window's version →
+//	pin the relation snapshot → dispatch every batch in the window
+//	across the idle consumers → unpin when the last completes.
+//
+// A candidate item may join the window being accumulated only if, against
+// every batch already in it:
+//
+//   - no barrier mutation (sync join or future get — the mutations that
+//     fold previously-parallel bags together and so can change existing
+//     query answers) was recorded since the previous item;
+//   - no return mutation recorded since the previous item has a subtree
+//     strand span containing the earlier batch's strand (a return retags
+//     exactly its own subtree's bags; single-strand subtrees are already
+//     filtered out by the engine because a batch never queries its own
+//     strand);
+//   - the strands differ (same-strand batches share shadow words and must
+//     install in order);
+//   - the page footprints are disjoint (MemFull), so concurrent checks
+//     touch disjoint shadow words.
+//
+// Those rules are exactly what makes checking a batch under the window's
+// (later) relation version indistinguishable from checking it under its
+// own: spawn/create mutations only introduce fresh elements, and the
+// conflicting mutation classes force a new window. Verdicts, counters and
+// — through the sequence-numbered reorder buffer in front of race
+// delivery — the report stream itself are byte-identical to a serial run;
+// TestConsumersEquivalence pins that across algorithms, consumer counts
+// and worker widths.
+package detect
+
+import (
+	"fmt"
+	"sync"
+
+	"futurerd/internal/core"
+	"futurerd/internal/event"
+	"futurerd/internal/shadow"
+)
+
+// discCheck is a deferred CheckStructured discipline query: instead of
+// draining the pipeline at every get, the engine enqueues the query and
+// the back-end answers it from the versioned snapshot at (or safely
+// after) the get's version, in stream order.
+type discCheck struct {
+	futFn   core.FnID
+	creator core.StrandID
+	getter  core.StrandID
+	touches int
+}
+
+// workItem is one unit of the pipeline stream: a sealed batch (possibly
+// empty — a version-bearing nudge), optionally carrying a deferred
+// discipline check.
+type workItem struct {
+	b    *event.Batch
+	disc *discCheck
+}
+
+// pipeline is the asynchronous detection back-end: the single-consumer
+// stream or the dependency-scheduled consumer pool, per Config.Consumers.
+type pipeline struct {
+	e         *Engine
+	consumers int
+	items     chan workItem
+	pending   sync.WaitGroup
+	stopped   sync.Once
+	schedDone chan struct{}
+	nextSeq   uint64 // engine goroutine only (stamped at submit)
+
+	// maxWindow is the largest batch window dispatched in one epoch —
+	// written by the scheduler goroutine, read after stop. A diagnostic
+	// (window formation is timing-dependent), deliberately not in Stats.
+	maxWindow int
+
+	// testHook, when non-nil, runs on the checking goroutine before each
+	// non-empty batch is checked; pipeline tests use it to hold batches in
+	// flight and to observe concurrent dispatch.
+	testHook func(*event.Batch)
+}
+
+func newPipeline(e *Engine, consumers int) *pipeline {
+	p := &pipeline{
+		e:         e,
+		consumers: consumers,
+		items:     make(chan workItem, 16),
+		schedDone: make(chan struct{}),
+	}
+	if consumers <= 1 {
+		go p.runSingle()
+	} else {
+		go p.schedule()
+	}
+	return p
+}
+
+// submit hands one item to the pipeline, stamping its sequence number.
+// Engine goroutine only. Memory ordering: the channel send publishes the
+// batch; the final drain observes all checking-side writes via pending.
+func (p *pipeline) submit(it workItem) {
+	p.nextSeq++
+	it.b.Seq = p.nextSeq
+	p.pending.Add(1)
+	p.items <- it
+}
+
+// stop drains and releases the pipeline's goroutines. Idempotent,
+// nil-safe.
+func (p *pipeline) stop() {
+	if p == nil {
+		return
+	}
+	p.stopped.Do(func() {
+		p.pending.Wait()
+		close(p.items)
+		<-p.schedDone
+	})
+}
+
+// runSingle is the single-consumer loop: items are processed in seal
+// order, each batch's mutations applied just before it is checked.
+func (p *pipeline) runSingle() {
+	e := p.e
+	for it := range p.items {
+		if it.disc == nil && p.testHook != nil {
+			p.testHook(it.b)
+		}
+		e.processBatch(it.b)
+		if it.disc != nil {
+			e.evalDisc(it.disc)
+		}
+		event.Recycle(it.b)
+		p.pending.Done()
+	}
+	close(p.schedDone)
+}
+
+// consResult is one checked batch coming back from a consumer.
+type consResult struct {
+	seq    uint64
+	strand core.StrandID
+	events []shadow.RaceEvent // copied; nil when the batch was race-free
+}
+
+// consume is one consumer goroutine of the multi-consumer pool: it checks
+// dispatched batches on its private shadow view and reports buffered race
+// events back for in-order delivery.
+func (p *pipeline) consume(id int, work <-chan *event.Batch, results chan<- consResult, wg *sync.WaitGroup) {
+	defer wg.Done()
+	e := p.e
+	view := shadow.NewView(e.hist, id)
+	var claims []shadow.PageClaim
+	for b := range work {
+		if p.testHook != nil {
+			p.testHook(b)
+		}
+		res := consResult{seq: b.Seq, strand: b.Strand}
+		ctx := e.sctx // prototype copy; race sinks unused (events buffer)
+		ctx.Gen = b.Gen
+		view.Begin(&ctx, b.Strand)
+		full := e.mem == MemFull
+		if full {
+			// The install audit asserts concurrent batches touch disjoint
+			// shadow pages. Instrumentation-only batches never touch shadow
+			// state (TouchRange is a pure checksum), so the scheduler
+			// legitimately overlaps them and they claim nothing.
+			claims = claims[:0]
+			for _, sp := range b.FP.Spans {
+				claims = append(claims, shadow.PageClaim{Lo: sp.Lo, Hi: sp.Hi})
+			}
+			view.Claim(claims)
+		}
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			switch {
+			case !full:
+				view.TouchRange(op.Addr, op.Words, e.pool)
+			case op.Kind == event.Read:
+				view.ReadRange(op.Addr, op.Words, e.pool)
+			default:
+				view.WriteRange(op.Addr, op.Words, e.pool)
+			}
+		}
+		if evs := view.Events(); len(evs) > 0 {
+			res.events = append([]shadow.RaceEvent(nil), evs...)
+		}
+		view.End()
+		event.Recycle(b)
+		results <- res
+	}
+}
+
+// compatible reports whether item it may join the window being
+// accumulated: checked concurrently with every batch already in win and
+// under the window's (later) relation version. See the package comment
+// for why each rule is exactly what verdict identity needs.
+func (p *pipeline) compatible(it workItem, win []workItem) bool {
+	b := it.b
+	if b.Barrier && len(win) > 0 {
+		return false
+	}
+	full := p.e.mem == MemFull
+	for i := range win {
+		wb := win[i].b
+		if b.Strand != core.NoStrand && b.Strand == wb.Strand {
+			return false
+		}
+		if full && b.FP.Overlaps(&wb.FP) {
+			return false
+		}
+		for _, sp := range b.RetSpans {
+			if sp.Contains(wb.Strand) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// schedule is the multi-consumer scheduler goroutine: it accumulates the
+// next window while the active one executes, flushes windows as epochs,
+// and delivers race reports through a sequence-ordered reorder buffer.
+func (p *pipeline) schedule() {
+	e := p.e
+	work := make(chan *event.Batch)
+	results := make(chan consResult, p.consumers)
+	var consumers sync.WaitGroup
+	for i := 0; i < p.consumers; i++ {
+		consumers.Add(1)
+		go p.consume(i, work, results, &consumers)
+	}
+
+	var (
+		win         []workItem // window being accumulated
+		hold        *workItem  // first item incompatible with win
+		closed      bool       // items channel closed
+		active      int        // dispatched, not yet completed
+		pinned      bool       // relation snapshot pin held
+		dispatch    []*event.Batch
+		dispatched  int
+		slots       []*consResult  // reorder buffer for the active window
+		slotOf      map[uint64]int // seq → slot index
+		nextDeliver int            // first undelivered slot
+	)
+	slotOf = make(map[uint64]int)
+
+	deliver := func(r *consResult) {
+		for _, ev := range r.events {
+			e.reportRace(ev.Addr, ev.Racer.Prev, r.strand, ev.Racer.PrevWrite, ev.Write)
+		}
+		p.pending.Done()
+	}
+	handleResult := func(r consResult) {
+		active--
+		if active == 0 && pinned {
+			e.vr.Unpin()
+			pinned = false
+		}
+		i := slotOf[r.seq]
+		slots[i] = &r
+		for nextDeliver < len(slots) && slots[nextDeliver] != nil {
+			deliver(slots[nextDeliver])
+			nextDeliver++
+		}
+	}
+	admit := func(it workItem) {
+		if hold == nil && p.compatible(it, win) {
+			win = append(win, it)
+		} else {
+			hold = &it
+		}
+	}
+	// flush runs one epoch boundary: the relation is quiescent (active ==
+	// 0, no pin), so pending mutations up to the window's last version are
+	// applied, deferred discipline checks answered in stream order, and
+	// the window's real batches dispatched under a pinned snapshot.
+	flush := func() {
+		last := win[len(win)-1]
+		if e.vr != nil {
+			e.vr.ApplyTo(last.b.Version)
+		}
+		dispatch = dispatch[:0]
+		for _, it := range win {
+			if it.disc != nil {
+				e.evalDisc(it.disc)
+			}
+			if len(it.b.Ops) == 0 {
+				event.Recycle(it.b)
+				p.pending.Done()
+				continue
+			}
+			dispatch = append(dispatch, it.b)
+		}
+		win = win[:0]
+		if len(dispatch) == 0 {
+			return
+		}
+		if len(dispatch) > p.maxWindow {
+			p.maxWindow = len(dispatch)
+		}
+		if e.vr != nil {
+			e.vr.Pin()
+			pinned = true
+		}
+		slots = slots[:0]
+		for range dispatch {
+			slots = append(slots, nil)
+		}
+		clear(slotOf)
+		for i, b := range dispatch {
+			slotOf[b.Seq] = i
+		}
+		nextDeliver = 0
+		active = len(dispatch)
+		dispatched = 0
+	}
+
+	for {
+		// Push undispatched batches of the flushed window to the
+		// consumers, draining results in between so a full pool can never
+		// deadlock the hand-off.
+		for dispatched < len(dispatch) && active > 0 {
+			select {
+			case work <- dispatch[dispatched]:
+				dispatched++
+			case r := <-results:
+				handleResult(r)
+			}
+		}
+		// Opportunistically take everything already queued.
+		for hold == nil && !closed {
+			var it workItem
+			var ok bool
+			select {
+			case it, ok = <-p.items:
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+			admit(it)
+		}
+		// Epoch boundary: nothing in flight — flush what accumulated, or
+		// promote the held item into the fresh window.
+		if active == 0 {
+			if len(win) > 0 {
+				flush()
+				continue
+			}
+			if hold != nil {
+				it := *hold
+				hold = nil
+				win = append(win, it)
+				continue
+			}
+			if closed {
+				break
+			}
+		}
+		// Block until something can move: a result, or (when intake is
+		// open) the next item.
+		if active > 0 {
+			if hold == nil && !closed {
+				select {
+				case r := <-results:
+					handleResult(r)
+				case it, ok := <-p.items:
+					if !ok {
+						closed = true
+					} else {
+						admit(it)
+					}
+				}
+			} else {
+				handleResult(<-results)
+			}
+		} else {
+			it, ok := <-p.items
+			if !ok {
+				closed = true
+			} else {
+				admit(it)
+			}
+		}
+	}
+	close(work)
+	consumers.Wait()
+	close(p.schedDone)
+}
+
+// evalDisc answers one deferred discipline check against the relation at
+// (or safely after) the get's version. Runs on the engine goroutine in
+// synchronous mode, the consumer goroutine in single-consumer mode, and
+// the scheduler goroutine (relation quiescent) in multi-consumer mode.
+func (e *Engine) evalDisc(d *discCheck) {
+	if d.touches == 2 {
+		e.violate("multi-touch", fmt.Sprintf(
+			"future fn %d touched more than once (second get at strand %d)",
+			d.futFn, d.getter))
+	}
+	if !e.reach.Precedes(d.creator, d.getter) {
+		e.violate("unordered-create-get", fmt.Sprintf(
+			"create at strand %d does not sequentially precede get at strand %d",
+			d.creator, d.getter))
+	}
+}
+
+// MaxDispatchedWindow reports the largest batch window the multi-consumer
+// scheduler dispatched in one epoch (0 when the pipeline was synchronous
+// or single-consumer). Window formation is timing-dependent, so this is a
+// diagnostic for tests and benchmarks, not part of Stats. Valid after Run
+// returns.
+func (e *Engine) MaxDispatchedWindow() int {
+	if e.be == nil {
+		return 0
+	}
+	return e.be.maxWindow
+}

@@ -19,6 +19,19 @@
 //
 // Batches are pooled: the detection back-end recycles them after
 // processing, so a steady-state pipeline allocates nothing per batch.
+//
+// # Footprints
+//
+// A sealed batch carries a footprint: the strand that performed it plus a
+// compact summary of the shadow pages it touches (sorted, merged page
+// spans, collapsed to their hull past a small cap). Footprints are what
+// the multi-consumer detection back-end schedules on — two batches with
+// disjoint page spans, distinct strands and no relation-mutation conflict
+// between them touch disjoint shadow words and make queries whose answers
+// are independent of each other's order, so they may be checked
+// concurrently without changing a single verdict or counter. Summarize
+// computes the footprint at seal time from the (already coalesced) ops in
+// one linear pass plus an insertion sort over the handful of spans.
 package event
 
 import (
@@ -52,6 +65,66 @@ type Op struct {
 // confirmed by bench_test.go's BenchmarkBatchCap sweep.
 const MaxOps = 4096
 
+// PageSpan is one contiguous run of shadow page numbers, inclusive.
+type PageSpan struct {
+	Lo, Hi uint64
+}
+
+// StrandSpan is one contiguous run of strand ids, inclusive. The engine
+// allocates strand ids densely in depth-first execution order, so a
+// function subtree occupies one span; the detection scheduler uses spans
+// to conservatively name the strands whose queries a recorded return
+// mutation could affect.
+type StrandSpan struct {
+	First, Last core.StrandID
+}
+
+// Contains reports whether s lies in the span.
+func (sp StrandSpan) Contains(s core.StrandID) bool {
+	return sp.First <= s && s <= sp.Last
+}
+
+// MaxFootprintSpans caps the page spans kept per batch footprint; a batch
+// touching more distinct page runs collapses to its hull (one span,
+// Exact=false). Collapsing only over-approximates, so scheduling stays
+// sound — it just serializes more.
+const MaxFootprintSpans = 16
+
+// Footprint summarizes the shadow pages one sealed batch touches: sorted,
+// disjoint, non-adjacent page spans. Exact is false when the spans were
+// collapsed to their hull (the summary then covers a superset of the
+// touched pages).
+type Footprint struct {
+	Spans []PageSpan
+	Exact bool
+}
+
+// Pages returns the number of pages the summary covers.
+func (f *Footprint) Pages() uint64 {
+	var n uint64
+	for _, s := range f.Spans {
+		n += s.Hi - s.Lo + 1
+	}
+	return n
+}
+
+// Overlaps reports whether the two summaries share a page. Both span
+// lists are sorted, so the test is a linear merge.
+func (f *Footprint) Overlaps(g *Footprint) bool {
+	i, j := 0, 0
+	for i < len(f.Spans) && j < len(g.Spans) {
+		a, b := f.Spans[i], g.Spans[j]
+		if a.Hi < b.Lo {
+			i++
+		} else if b.Hi < a.Lo {
+			j++
+		} else {
+			return true
+		}
+	}
+	return false
+}
+
 // Batch is an ordered run of accesses made by one strand between two
 // parallel constructs.
 type Batch struct {
@@ -64,11 +137,30 @@ type Batch struct {
 	Gen uint64
 	// Version is the reachability-relation version (count of construct
 	// mutations recorded) the ops executed under. The detection back-end
-	// applies pending mutations up to exactly this version before checking
-	// the batch, so in-flight batches always observe the immutable
-	// relation snapshot they were recorded under.
+	// applies pending mutations up to at least this version before
+	// checking the batch; the scheduler's dependency rules guarantee that
+	// any version it actually checks under answers every query of this
+	// batch identically to this exact version.
 	Version uint64
-	Ops     []Op
+	// Seq is the batch's position in seal order, stamped at submit time;
+	// the multi-consumer back-end's reorder buffer delivers race reports
+	// in Seq order so the report stream is byte-identical to serial.
+	Seq uint64
+	// FP is the page footprint, computed by Summarize at seal time.
+	FP Footprint
+	// Barrier records that a relation mutation that can change existing
+	// query answers (a sync join or a future get) was recorded between the
+	// previous submitted batch and this one: this batch and everything
+	// after it must wait for every earlier in-flight batch.
+	Barrier bool
+	// RetSpans lists the subtree strand spans of return mutations recorded
+	// between the previous submitted batch and this one: a return retags
+	// only its own subtree's bags, so it conflicts exactly with in-flight
+	// batches whose strand lies in the span (and single-strand subtrees
+	// cannot conflict with their own batch — the engine already filters
+	// those out when stamping).
+	RetSpans []StrandSpan
+	Ops      []Op
 }
 
 // Append records an access, coalescing it into the previous op when it
@@ -93,12 +185,91 @@ func (b *Batch) Append(k Kind, addr uint64, words int) int {
 // Len returns the number of (coalesced) ops buffered.
 func (b *Batch) Len() int { return len(b.Ops) }
 
+// Summarize computes the batch's page footprint from its ops: one span
+// per op, insertion-sorted and merged (ops are coalesced, so there are
+// few), collapsed to the hull past MaxFootprintSpans. PageBits is the
+// shadow layer's page size exponent.
+func (b *Batch) Summarize(pageBits uint) {
+	spans := b.FP.Spans[:0]
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		lo := op.Addr >> pageBits
+		hi := (op.Addr + uint64(op.Words) - 1) >> pageBits
+		spans = insertSpan(spans, PageSpan{lo, hi})
+	}
+	b.FP.Exact = true
+	if len(spans) > MaxFootprintSpans {
+		spans = append(spans[:0], PageSpan{spans[0].Lo, spans[len(spans)-1].Hi})
+		b.FP.Exact = false
+	}
+	b.FP.Spans = spans
+}
+
+// insertSpan inserts s into the sorted, disjoint, non-adjacent span list,
+// merging as needed. Linear in the span count, which is capped.
+func insertSpan(spans []PageSpan, s PageSpan) []PageSpan {
+	// Find the first span that could interact with s (ends at or after
+	// s.Lo-1, guarding the 0 underflow).
+	i := 0
+	for i < len(spans) && spans[i].Hi < s.Lo && spans[i].Hi+1 != s.Lo {
+		i++
+	}
+	// Collect every span that overlaps or is adjacent to s into s.
+	j := i
+	for j < len(spans) && spans[j].Lo <= s.Hi+1 && (s.Hi != ^uint64(0) || spans[j].Lo <= s.Hi) {
+		if spans[j].Lo < s.Lo {
+			s.Lo = spans[j].Lo
+		}
+		if spans[j].Hi > s.Hi {
+			s.Hi = spans[j].Hi
+		}
+		j++
+	}
+	if i == j {
+		// No merge: splice s in at i.
+		spans = append(spans, PageSpan{})
+		copy(spans[i+1:], spans[i:])
+		spans[i] = s
+		return spans
+	}
+	spans[i] = s
+	return append(spans[:i+1], spans[j:]...)
+}
+
 // Reset empties the batch, keeping its capacity.
 func (b *Batch) Reset() {
 	b.Ops = b.Ops[:0]
 	b.Strand = core.NoStrand
 	b.Gen = 0
 	b.Version = 0
+	b.Seq = 0
+	b.FP.Spans = b.FP.Spans[:0]
+	b.FP.Exact = false
+	b.Barrier = false
+	b.RetSpans = b.RetSpans[:0]
+}
+
+// Stats counts batch-pipeline traffic. A batch is "independent" when its
+// footprint does not depend on the immediately preceding sealed batch —
+// distinct strand, disjoint pages, and no conflicting relation mutation
+// recorded in between — which is the (deterministic, timing-free)
+// pairwise form of the condition the multi-consumer scheduler uses to
+// check batches concurrently. The footprint counters size the summaries
+// the scheduler works with.
+type Stats struct {
+	// Batches counts sealed non-empty batches handed to detection.
+	Batches uint64
+	// IndependentBatches counts batches independent of their predecessor;
+	// SerializedBatches counts the rest (the first batch counts as
+	// serialized). Batches = IndependentBatches + SerializedBatches.
+	IndependentBatches uint64
+	SerializedBatches  uint64
+	// FootprintSpans and FootprintPages total the page spans and pages
+	// summarized across all batch footprints; CollapsedFootprints counts
+	// batches whose summary fell back to the inexact hull.
+	FootprintSpans      uint64
+	FootprintPages      uint64
+	CollapsedFootprints uint64
 }
 
 var pool = sync.Pool{New: func() any { return &Batch{} }}

@@ -1,6 +1,10 @@
 package event
 
-import "testing"
+import (
+	"testing"
+
+	"futurerd/internal/core"
+)
 
 func TestAppendCoalescesContiguousSameKind(t *testing.T) {
 	var b Batch
@@ -51,4 +55,85 @@ func TestPoolRoundTrip(t *testing.T) {
 		t.Fatalf("recycled batch not reset: %+v", c)
 	}
 	Recycle(nil) // must not panic
+}
+
+func TestSummarizeMergesAndSorts(t *testing.T) {
+	const pb = 12
+	var b Batch
+	b.Append(Write, 3*4096, 100)  // page 3
+	b.Append(Read, 0, 4096)       // page 0
+	b.Append(Write, 4096+10, 20)  // page 1 (adjacent to page 0's span: merges)
+	b.Append(Read, 10*4096, 8192) // pages 10-11
+	b.Summarize(pb)
+	want := []PageSpan{{0, 1}, {3, 3}, {10, 11}}
+	if !b.FP.Exact || len(b.FP.Spans) != len(want) {
+		t.Fatalf("footprint = %+v, want %v", b.FP, want)
+	}
+	for i, sp := range want {
+		if b.FP.Spans[i] != sp {
+			t.Fatalf("span %d = %v, want %v (all: %v)", i, b.FP.Spans[i], sp, b.FP.Spans)
+		}
+	}
+	if got := b.FP.Pages(); got != 5 {
+		t.Fatalf("Pages() = %d, want 5", got)
+	}
+}
+
+func TestSummarizeCollapsesToHull(t *testing.T) {
+	var b Batch
+	for i := 0; i < 2*MaxFootprintSpans; i++ {
+		b.Append(Write, uint64(i*3*4096), 10) // every third page: no merging
+	}
+	b.Summarize(12)
+	if b.FP.Exact || len(b.FP.Spans) != 1 {
+		t.Fatalf("expected inexact hull, got %+v", b.FP)
+	}
+	hull := b.FP.Spans[0]
+	if hull.Lo != 0 || hull.Hi != uint64((2*MaxFootprintSpans-1)*3) {
+		t.Fatalf("hull = %+v", hull)
+	}
+}
+
+func TestFootprintOverlaps(t *testing.T) {
+	mk := func(spans ...PageSpan) Footprint { return Footprint{Spans: spans, Exact: true} }
+	cases := []struct {
+		a, b Footprint
+		want bool
+	}{
+		{mk(PageSpan{0, 1}), mk(PageSpan{2, 3}), false},
+		{mk(PageSpan{0, 1}), mk(PageSpan{1, 3}), true},
+		{mk(PageSpan{0, 0}, PageSpan{5, 9}), mk(PageSpan{2, 4}), false},
+		{mk(PageSpan{0, 0}, PageSpan{5, 9}), mk(PageSpan{2, 6}), true},
+		{mk(), mk(PageSpan{0, 9}), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Overlaps(&c.b); got != c.want {
+			t.Fatalf("case %d: Overlaps = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Overlaps(&c.a); got != c.want {
+			t.Fatalf("case %d (sym): Overlaps = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSummarizeReuseAfterReset(t *testing.T) {
+	b := New()
+	b.Append(Write, 0, 10)
+	b.Summarize(12)
+	b.Barrier = true
+	b.RetSpans = append(b.RetSpans, StrandSpan{1, 5})
+	Recycle(b)
+	b2 := New() // pooled: must come back clean
+	if len(b2.FP.Spans) != 0 || b2.Barrier || len(b2.RetSpans) != 0 || b2.Seq != 0 {
+		t.Fatalf("recycled batch not reset: %+v", b2)
+	}
+}
+
+func TestStrandSpanContains(t *testing.T) {
+	sp := StrandSpan{First: 5, Last: 9}
+	for s, want := range map[uint32]bool{4: false, 5: true, 7: true, 9: true, 10: false} {
+		if got := sp.Contains(core.StrandID(s)); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", s, got, want)
+		}
+	}
 }

@@ -71,6 +71,72 @@ func parallelOne(t *testing.T, seed uint64, opts Options, mode detect.Mode) {
 	}
 }
 
+// consumersOne asserts multi-consumer equivalence on one generated
+// program: the dependency-scheduled consumer pool (Consumers ∈ {1,4} ×
+// Workers ∈ {1,4}) must reproduce the serial engine's report exactly —
+// same races in the same order, same protocol counters, same memo and
+// fast-path hits, same reachability traffic, same batch-pipeline stats.
+// A final config forces the intra-range fan-out under the consumer pool
+// with a tiny WorkerChunk and compares the verdict counters (per-chunk
+// memos legitimately change memo/query plumbing, exactly as in
+// parallelOne).
+func consumersOne(t *testing.T, seed uint64, opts Options, mode detect.Mode) {
+	t.Helper()
+	p := Generate(seed, opts)
+	serial := detect.NewEngine(detect.Config{
+		Mode: mode, Mem: detect.MemFull, MaxRaces: 1 << 20,
+	}).Run(p.Run)
+	if serial.Err != nil {
+		t.Fatalf("seed %d: serial err %v\n%s", seed, serial.Err, p)
+	}
+	check := func(cfg detect.Config, full bool) {
+		rep := detect.NewEngine(cfg).Run(p.Run)
+		if rep.Err != nil {
+			t.Fatalf("seed %d [c=%d w=%d]: %v\n%s", seed, cfg.Consumers, cfg.Workers, rep.Err, p)
+		}
+		if len(serial.Races) != len(rep.Races) {
+			t.Fatalf("seed %d [c=%d w=%d]: %d races vs serial %d\n%s",
+				seed, cfg.Consumers, cfg.Workers, len(rep.Races), len(serial.Races), p)
+		}
+		for i := range serial.Races {
+			if serial.Races[i] != rep.Races[i] {
+				t.Fatalf("seed %d [c=%d w=%d]: race %d differs: %v vs %v\n%s",
+					seed, cfg.Consumers, cfg.Workers, i, serial.Races[i], rep.Races[i], p)
+			}
+		}
+		ss, cs := serial.Stats, rep.Stats
+		if !full {
+			sh, ch := ss.Shadow, cs.Shadow
+			if ss.RaceCount != cs.RaceCount || sh.Reads != ch.Reads || sh.Writes != ch.Writes ||
+				sh.OwnedSkips != ch.OwnedSkips || sh.ReadSharedSkips != ch.ReadSharedSkips ||
+				sh.ReaderAppends != ch.ReaderAppends || sh.ReaderFlushes != ch.ReaderFlushes {
+				t.Fatalf("seed %d [c=%d w=%d chunked]: verdict counters diverge\nserial %+v\ngot    %+v\n%s",
+					seed, cfg.Consumers, cfg.Workers, sh, ch, p)
+			}
+			return
+		}
+		ss.Shadow.ParRanges, ss.Shadow.ParChunks, ss.Shadow.PageCacheHits = 0, 0, 0
+		cs.Shadow.ParRanges, cs.Shadow.ParChunks, cs.Shadow.PageCacheHits = 0, 0, 0
+		if ss.RaceCount != cs.RaceCount || ss.Shadow != cs.Shadow ||
+			ss.Reach != cs.Reach || ss.Event != cs.Event {
+			t.Fatalf("seed %d [c=%d w=%d]: stats diverge\nserial %+v\ngot    %+v\n%s",
+				seed, cfg.Consumers, cfg.Workers, ss, cs, p)
+		}
+	}
+	for _, consumers := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			check(detect.Config{
+				Mode: mode, Mem: detect.MemFull, MaxRaces: 1 << 20,
+				Consumers: consumers, Workers: workers,
+			}, true)
+		}
+	}
+	check(detect.Config{
+		Mode: mode, Mem: detect.MemFull, MaxRaces: 1 << 20,
+		Consumers: 3, Workers: 3, WorkerChunk: 4,
+	}, false)
+}
+
 // replayOne asserts the record→replay→detect equivalence on one
 // generated program: recording its trace and replaying it must reproduce
 // the direct run's report — same races in the same order, same structure
@@ -140,6 +206,11 @@ func FuzzGeneralPrograms(f *testing.F) {
 		opts := Options{Dialect: General, MaxStmts: 60}
 		fuzzOne(t, seed, opts, detect.ModeMultiBagsPlus)
 		parallelOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		consumersOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		spread := opts
+		spread.PageSpread = true
+		fuzzOne(t, seed, spread, detect.ModeMultiBagsPlus)
+		consumersOne(t, seed, spread, detect.ModeMultiBagsPlus)
 		replayOne(t, seed, opts)
 	})
 }
@@ -153,6 +224,11 @@ func FuzzStructuredPrograms(f *testing.F) {
 		fuzzOne(t, seed, opts, detect.ModeMultiBags)
 		fuzzOne(t, seed, opts, detect.ModeMultiBagsPlus)
 		parallelOne(t, seed, opts, detect.ModeMultiBags)
+		consumersOne(t, seed, opts, detect.ModeMultiBags)
+		spread := opts
+		spread.PageSpread = true
+		fuzzOne(t, seed, spread, detect.ModeMultiBags)
+		consumersOne(t, seed, spread, detect.ModeMultiBags)
 		replayOne(t, seed, opts)
 	})
 }
@@ -185,6 +261,52 @@ func TestParallelMatchesSerialSeeds(t *testing.T) {
 	for seed := uint64(0); seed < 40; seed++ {
 		parallelOne(t, seed, Options{Dialect: General, MaxStmts: 60}, detect.ModeMultiBagsPlus)
 		parallelOne(t, seed, Options{Dialect: Structured, MaxStmts: 60}, detect.ModeMultiBags)
+	}
+}
+
+// TestConsumersMatchSerialSeeds sweeps the multi-consumer differential
+// (Consumers ∈ {1,4} × Workers ∈ {1,4}) over a seed range, in both the
+// default shape — every access on shadow page zero, so every batch is
+// page-dependent and the pool must degenerate to serial order — and the
+// PageSpread shape, where per-body pages make batches genuinely
+// independent and the concurrent windows carry real traffic.
+func TestConsumersMatchSerialSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		consumersOne(t, seed, Options{Dialect: General, MaxStmts: 60}, detect.ModeMultiBagsPlus)
+		consumersOne(t, seed, Options{Dialect: Structured, MaxStmts: 60}, detect.ModeMultiBags)
+		consumersOne(t, seed, Options{Dialect: General, MaxStmts: 60, PageSpread: true}, detect.ModeMultiBagsPlus)
+		consumersOne(t, seed, Options{Dialect: Structured, MaxStmts: 60, PageSpread: true}, detect.ModeMultiBags)
+	}
+}
+
+// TestConsumersSeedShapes pins the two scheduling regimes the sweep
+// relies on: default programs are fully dependent (batches share page
+// zero), while a PageSpread sweep produces at least some independent
+// batches somewhere — otherwise the differential above proves nothing
+// about concurrent windows.
+func TestConsumersSeedShapes(t *testing.T) {
+	dep := Generate(3, Options{Dialect: Structured, MaxStmts: 60})
+	rep := detect.NewEngine(detect.Config{Mode: detect.ModeMultiBags, Mem: detect.MemFull,
+		MaxRaces: 1 << 20}).Run(dep.Run)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Stats.Event.IndependentBatches != 0 {
+		t.Fatalf("default-shape program has %d independent batches, want 0 (single shared page)",
+			rep.Stats.Event.IndependentBatches)
+	}
+	var independent uint64
+	for seed := uint64(0); seed < 25; seed++ {
+		p := Generate(seed, Options{Dialect: General, MaxStmts: 60, PageSpread: true})
+		rep := detect.NewEngine(detect.Config{Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull,
+			MaxRaces: 1 << 20}).Run(p.Run)
+		if rep.Err != nil {
+			t.Fatalf("seed %d: %v", seed, rep.Err)
+		}
+		independent += rep.Stats.Event.IndependentBatches
+	}
+	if independent == 0 {
+		t.Fatal("PageSpread sweep produced no independent batches")
 	}
 }
 

@@ -105,6 +105,16 @@ type Options struct {
 	// pin that path (serial, worker-pool, and replay alike) against the
 	// reference protocol and the oracle.
 	ReadHeavy bool
+
+	// PageSpread gives every spawned/created function body its own
+	// page-aligned address region for most of its accesses (a quarter
+	// still hit the shared low locations). Default programs keep all
+	// traffic on shadow page zero, so every batch is page-dependent and
+	// the multi-consumer scheduler degenerates to serial order;
+	// PageSpread programs produce genuinely independent batch footprints
+	// so the consumer pool's concurrent windows carry real traffic in the
+	// differential arms.
+	PageSpread bool
 }
 
 func (o *Options) defaults() {
@@ -126,7 +136,16 @@ type generator struct {
 	numFuts int
 	exports map[int][]int // future id → futures exported with its value
 	allFuts []int         // every future created so far (general dialect)
+
+	// PageSpread bookkeeping: every generated block gets its own
+	// page-aligned base for its private accesses.
+	nextBlock int
+	curBase   int
 }
+
+// pageWords mirrors the shadow layer's page size (2^12 words); progen
+// avoids the import to stay a pure generator.
+const pageWords = 4096
 
 // Generate builds a random program from seed.
 func Generate(seed uint64, opts Options) *Program {
@@ -163,6 +182,14 @@ func (g *generator) genBlock(depth int, isRoot bool) *Block {
 func (g *generator) genBlockExp(depth int, isRoot bool) (*Block, []int) {
 	b := &Block{}
 	fr := &frame{}
+	if g.opts.PageSpread {
+		// Each body owns a page-aligned region; restore the caller's on
+		// the way out (generation order is execution order).
+		parentBase := g.curBase
+		g.nextBlock++
+		g.curBase = g.nextBlock * pageWords
+		defer func() { g.curBase = parentBase }()
+	}
 	// Block length: geometric-ish, bounded by the global budget.
 	maxLen := 3 + g.rng.IntN(8)
 	if isRoot {
@@ -211,12 +238,21 @@ func (g *generator) genStmt(depth int, fr *frame) Stmt {
 	if g.opts.ReadHeavy {
 		readCut, writeCut, spawnCut, createCut, getCut = 12, 14, 16, 17, 19
 	}
+	// loc places an access: on the shared low locations, or — under
+	// PageSpread, three times in four — inside the block's private page.
+	loc := func() int {
+		l := g.rng.IntN(g.opts.Locs)
+		if g.opts.PageSpread && g.rng.IntN(4) != 0 {
+			return g.curBase + l
+		}
+		return l
+	}
 	for {
 		switch k := g.rng.IntN(20); {
 		case k < readCut: // read
-			return Stmt{Op: OpRead, Loc: g.rng.IntN(g.opts.Locs), Len: accessLen()}
+			return Stmt{Op: OpRead, Loc: loc(), Len: accessLen()}
 		case k < writeCut: // write
-			return Stmt{Op: OpWrite, Loc: g.rng.IntN(g.opts.Locs), Len: accessLen()}
+			return Stmt{Op: OpWrite, Loc: loc(), Len: accessLen()}
 		case k < spawnCut: // spawn
 			if depth >= g.opts.MaxDepth || g.budget < 2 {
 				continue

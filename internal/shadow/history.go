@@ -129,7 +129,15 @@ const pageStripes = 64
 
 // History is the access history for one detection run.
 type History struct {
-	dirs     []*directory     // flat table root, indexed by pageNumber >> dirBits
+	// dirs is the flat table root, indexed by pageNumber >> dirBits. It is
+	// published through an atomic pointer and grown copy-on-write (growth
+	// is rare: once per dirSize pages): the serial path is the only writer
+	// when the engine runs a single consumer, while the multi-consumer
+	// batch path grows it under dirMu so any consumer's workers can read
+	// the root lock-free mid-materialization.
+	dirs  atomic.Pointer[[]*directory]
+	dirMu sync.Mutex
+
 	overflow map[uint64]*page // pages beyond maxDirs directories
 
 	// spill holds the second-and-later distinct readers of words whose
@@ -140,6 +148,19 @@ type History struct {
 	// spillMu guards spill on the parallel range path; the serial path
 	// accesses the map directly (the worker pool is quiescent then).
 	spillMu sync.Mutex
+
+	// foldMu serializes multi-consumer counter folds (View.Fold); the
+	// serial and single-consumer paths add to the counters directly.
+	foldMu sync.Mutex
+
+	// Concurrent-install audit (debug assertion for the multi-consumer
+	// back-end): when enabled, every View claims the exact page range of
+	// each op before touching it and the claim panics if it overlaps
+	// another view's active claim — concurrent batches must touch disjoint
+	// pages or the scheduler is broken. See EnableInstallAudit.
+	auditMu     sync.Mutex
+	auditClaims map[int][]PageClaim
+	auditOn     bool
 
 	// stripes guards page materialization on the parallel range path,
 	// selected by page number (see pageForShared).
@@ -176,12 +197,38 @@ type History struct {
 
 // NewHistory returns an empty access history.
 func NewHistory() *History {
-	return &History{}
+	h := &History{}
+	root := []*directory(nil)
+	h.dirs.Store(&root)
+	return h
+}
+
+// growDirs returns a root slab whose entry di exists and is non-nil,
+// growing and republishing copy-on-write if needed. Single-writer (serial
+// path) or dirMu-holder (shared path) only.
+func (h *History) growDirs(di uint64) []*directory {
+	slab := *h.dirs.Load()
+	if di < uint64(len(slab)) && slab[di] != nil {
+		return slab
+	}
+	n := uint64(len(slab))
+	if di >= n {
+		n = di + 1
+	}
+	ns := make([]*directory, n)
+	copy(ns, slab)
+	if ns[di] == nil {
+		ns[di] = new(directory)
+	}
+	h.dirs.Store(&ns)
+	return ns
 }
 
 // pageFor returns the page holding page number pn, materializing it on
 // first touch. The last resolved page is cached; sequential scans hit the
-// cache for all but the first word of each page.
+// cache for all but the first word of each page. Serial path only (the
+// engine's single-consumer pipeline); concurrent consumers go through
+// pageForShared.
 func (h *History) pageFor(pn uint64) *page {
 	if h.lastPage != nil && h.lastPN == pn {
 		h.pageCacheHits++
@@ -189,14 +236,11 @@ func (h *History) pageFor(pn uint64) *page {
 	}
 	var p *page
 	if di := pn >> dirBits; di < maxDirs {
-		for uint64(len(h.dirs)) <= di {
-			h.dirs = append(h.dirs, nil)
+		slab := *h.dirs.Load()
+		if di >= uint64(len(slab)) || slab[di] == nil {
+			slab = h.growDirs(di)
 		}
-		d := h.dirs[di]
-		if d == nil {
-			d = new(directory)
-			h.dirs[di] = d
-		}
+		d := slab[di]
 		p = d[pn&dirMask].Load()
 		if p == nil {
 			p = new(page)
@@ -216,6 +260,17 @@ func (h *History) pageFor(pn uint64) *page {
 	}
 	h.lastPN, h.lastPage = pn, p
 	return p
+}
+
+// ResetBatchCaches invalidates the cross-batch carryover state of the
+// serial range path — the single-entry verdict memo. The engine calls it
+// at every batch boundary so the serial, single-consumer and
+// multi-consumer pipelines answer the same queries from the same caches:
+// a batch always starts with a cold memo, whichever consumer checks it.
+// (The last-page cache is deliberately kept: page-cache hits are a
+// plumbing counter, excluded from cross-configuration equivalence.)
+func (h *History) ResetBatchCaches() {
+	h.memoCur = core.NoStrand
 }
 
 func (h *History) wordFor(addr uint64) *word {

@@ -158,7 +158,25 @@ type chunkState struct {
 	ownedSkips      uint64
 	readSharedSkips uint64
 	memoHits        uint64
+	parRanges       uint64
+	parChunks       uint64
 	touched         uint64
+}
+
+// addCounters folds o's counters into c (used when a fan-out's chunk
+// states are folded into the operation's sink state).
+func (c *chunkState) addCounters(o *chunkState) {
+	c.reads += o.reads
+	c.writes += o.writes
+	c.readerAppends += o.readerAppends
+	c.readerFlushes += o.readerFlushes
+	c.pageCacheHits += o.pageCacheHits
+	c.ownedSkips += o.ownedSkips
+	c.readSharedSkips += o.readSharedSkips
+	c.memoHits += o.memoHits
+	c.parRanges += o.parRanges
+	c.parChunks += o.parChunks
+	c.touched += o.touched
 }
 
 func (c *chunkState) precedes(u core.StrandID) bool {
@@ -326,22 +344,31 @@ func (c *chunkState) installWriter(w *word, addr uint64) {
 }
 
 // touchRange is the per-chunk mirror of TouchRange: a pure checksum, so
-// chunk sums add up to the serial result.
+// chunk sums add up to the serial result. Accumulates, so a View reusing
+// one chunkState across a batch's ops keeps every op's contribution.
 func (c *chunkState) touchRange(addr uint64, words int) {
 	var sum uint64
 	for ; words > 0; words-- {
 		sum += (addr >> PageBits) ^ (addr & pageMask)
 		addr++
 	}
-	c.touched = sum
+	c.touched += sum
 }
 
-// pageForShared returns the page holding pn on the parallel path,
-// materializing it under a stripe lock on first touch. The directory node
-// itself is guaranteed to exist (ensureShared ran before the fan-out).
+// pageForShared returns the page holding pn on the shared (worker-pool or
+// multi-consumer) path, materializing it under a stripe lock on first
+// touch. A missing directory node is created under dirMu — cheap (once
+// per dirSize pages) and required because concurrent consumers reach here
+// without a serial ensureShared step.
 func (h *History) pageForShared(pn uint64) *page {
 	if di := pn >> dirBits; di < maxDirs {
-		e := &h.dirs[di][pn&dirMask]
+		slab := *h.dirs.Load()
+		if di >= uint64(len(slab)) || slab[di] == nil {
+			h.dirMu.Lock()
+			slab = h.growDirs(di)
+			h.dirMu.Unlock()
+		}
+		e := &slab[di][pn&dirMask]
 		if p := e.Load(); p != nil {
 			return p
 		}
@@ -356,26 +383,35 @@ func (h *History) pageForShared(pn uint64) *page {
 		mu.Unlock()
 		return p
 	}
-	// Overflow pages were pre-created by ensureShared; the map is
-	// read-only during the fan-out.
-	return h.overflow[pn]
+	// Overflow pages (addresses the dense allocator never produces) are
+	// created and read under dirMu on this path.
+	h.dirMu.Lock()
+	if h.overflow == nil {
+		h.overflow = make(map[uint64]*page)
+	}
+	p := h.overflow[pn]
+	if p == nil {
+		p = new(page)
+		h.overflow[pn] = p
+		atomic.AddUint64(&h.touchedPages, 1)
+	}
+	h.dirMu.Unlock()
+	return p
 }
 
-// ensureShared prepares the page table for a concurrent fan-out over
-// [addr, addr+words): the directory level is grown and populated and any
-// overflow pages are materialized, both serially, so workers only ever
-// create pages inside existing directories.
+// ensureShared pre-grows the page table for a fan-out over
+// [addr, addr+words) on the single-consumer path, so workers rarely take
+// pageForShared's slow path. Multi-consumer Views skip it — pageForShared
+// is self-sufficient — because ensureShared also invalidates the serial
+// last-page cache, which only the single-consumer path owns.
 func (h *History) ensureShared(addr uint64, words int) {
 	first := addr >> PageBits
 	last := (addr + uint64(words) - 1) >> PageBits
+	h.dirMu.Lock()
 	for di := first >> dirBits; di <= last>>dirBits && di < maxDirs; di++ {
-		for uint64(len(h.dirs)) <= di {
-			h.dirs = append(h.dirs, nil)
-		}
-		if h.dirs[di] == nil {
-			h.dirs[di] = new(directory)
-		}
+		h.growDirs(di)
 	}
+	h.dirMu.Unlock()
 	if last>>dirBits >= maxDirs {
 		for pn := first; pn <= last; pn++ {
 			if pn>>dirBits >= maxDirs {
@@ -391,10 +427,12 @@ func (h *History) ensureShared(addr uint64, words int) {
 }
 
 // fanOut splits [addr, addr+words) into pool-chunk-sized jobs, runs them
-// across the pool with the coordinator participating, folds the
-// worker-local counters back into h, and returns the jobs so the caller
-// can drain the buffered race events in chunk (= address) order.
-func (h *History) fanOut(op int, addr uint64, words int, s core.StrandID, ctx *Ctx, p *Pool) []chunkJob {
+// across the pool with the calling goroutine participating, then folds
+// the worker-local counters and the buffered race events — in chunk (=
+// address) order — into sink. The caller owns sink and decides where its
+// contents land (directly into h on the single-consumer path, into a
+// View's batch state on the multi-consumer path).
+func (h *History) fanOut(op int, addr uint64, words int, s core.StrandID, ctx *Ctx, p *Pool, sink *chunkState) {
 	nchunks := (words + p.chunk - 1) / p.chunk
 	jobs := make([]chunkJob, nchunks)
 	var done sync.WaitGroup
@@ -419,7 +457,10 @@ func (h *History) fanOut(op int, addr uint64, words int, s core.StrandID, ctx *C
 	// the channel but runs it inline when the workers are saturated, then
 	// keeps draining until the queue is dry. On a single-CPU machine this
 	// degrades to the serial loop plus channel overhead rather than idle
-	// blocking.
+	// blocking. With multiple consumers fanning out at once the queue is
+	// shared, so a coordinator may execute another consumer's chunks while
+	// it waits — work conservation, and safe because chunk state is
+	// self-contained.
 	for i := range jobs {
 		select {
 		case p.tasks <- &jobs[i]:
@@ -439,21 +480,29 @@ func (h *History) fanOut(op int, addr uint64, words int, s core.StrandID, ctx *C
 		break
 	}
 	done.Wait()
-	h.parRanges++
-	h.parChunks += uint64(nchunks)
+	sink.parRanges++
+	sink.parChunks += uint64(nchunks)
 	for i := range jobs {
-		cs := &jobs[i].cs
-		h.reads += cs.reads
-		h.writes += cs.writes
-		h.readerAppends += cs.readerAppends
-		h.readerFlushes += cs.readerFlushes
-		h.pageCacheHits += cs.pageCacheHits
-		h.ownedSkips += cs.ownedSkips
-		h.readSharedSkips += cs.readSharedSkips
-		h.memoHits += cs.memoHits
-		h.touched += cs.touched
+		sink.addCounters(&jobs[i].cs)
+		sink.events = append(sink.events, jobs[i].cs.events...)
 	}
-	return jobs
+}
+
+// foldInto adds the sink counters of one completed operation (or batch)
+// into the History's totals. The single-consumer path calls it directly;
+// Views fold under foldMu.
+func (h *History) foldInto(cs *chunkState) {
+	h.reads += cs.reads
+	h.writes += cs.writes
+	h.readerAppends += cs.readerAppends
+	h.readerFlushes += cs.readerFlushes
+	h.pageCacheHits += cs.pageCacheHits
+	h.ownedSkips += cs.ownedSkips
+	h.readSharedSkips += cs.readSharedSkips
+	h.memoHits += cs.memoHits
+	h.parRanges += cs.parRanges
+	h.parChunks += cs.parChunks
+	h.touched += cs.touched
 }
 
 // ReadRangePar is ReadRange fanned out across pool p. Ranges below the
@@ -466,11 +515,11 @@ func (h *History) ReadRangePar(addr uint64, words int, s core.StrandID, ctx *Ctx
 		return
 	}
 	h.ensureShared(addr, words)
-	jobs := h.fanOut(opRead, addr, words, s, ctx, p)
-	for i := range jobs {
-		for _, ev := range jobs[i].cs.events {
-			ctx.OnReadRace(ev.addr, ev.racer, s)
-		}
+	var sink chunkState
+	h.fanOut(opRead, addr, words, s, ctx, p, &sink)
+	h.foldInto(&sink)
+	for _, ev := range sink.events {
+		ctx.OnReadRace(ev.addr, ev.racer, s)
 	}
 }
 
@@ -481,11 +530,11 @@ func (h *History) WriteRangePar(addr uint64, words int, s core.StrandID, ctx *Ct
 		return
 	}
 	h.ensureShared(addr, words)
-	jobs := h.fanOut(opWrite, addr, words, s, ctx, p)
-	for i := range jobs {
-		for _, ev := range jobs[i].cs.events {
-			ctx.OnWriteRace(ev.addr, ev.racer, s)
-		}
+	var sink chunkState
+	h.fanOut(opWrite, addr, words, s, ctx, p, &sink)
+	h.foldInto(&sink)
+	for _, ev := range sink.events {
+		ctx.OnWriteRace(ev.addr, ev.racer, s)
 	}
 }
 
@@ -496,5 +545,7 @@ func (h *History) TouchRangePar(addr uint64, words int, p *Pool) {
 		h.TouchRange(addr, words)
 		return
 	}
-	h.fanOut(opTouch, addr, words, core.NoStrand, nil, p)
+	var sink chunkState
+	h.fanOut(opTouch, addr, words, core.NoStrand, nil, p, &sink)
+	h.foldInto(&sink)
 }

@@ -65,6 +65,29 @@ const MaxViolations = detect.MaxViolations
 // forward-pointing and could deadlock).
 var ErrFutureNotReady = detect.ErrFutureNotReady
 
+// PipelineError is the structured failure of the fail-closed detection
+// pipeline: any panic or stall in a detection goroutine is recovered into
+// one of these (stage, batch diagnostic, per-stage progress) and returned
+// through Report.Err, with every pipeline goroutine joined before Detect
+// returns. Test with errors.As.
+type PipelineError = detect.PipelineError
+
+// PipelineProgress is the per-stage progress snapshot a PipelineError
+// carries.
+type PipelineProgress = detect.PipelineProgress
+
+// ErrStalled is the cause of a watchdog-raised PipelineError: no pipeline
+// stage advanced for Config.StallTimeout while work was outstanding.
+var ErrStalled = detect.ErrStalled
+
+// TraceStats describes how a recovering trace replay ended; see
+// ReplayTraceRecover.
+type TraceStats = detect.TraceStats
+
+// TraceLimits bounds a recovering replay against hostile or damaged
+// traces; the zero value applies the default word cap.
+type TraceLimits = trace.Limits
+
 // Detect executes root sequentially in depth-first eager order under the
 // configured race detector and returns its report. root and everything it
 // spawns run on the calling goroutine.
@@ -118,6 +141,16 @@ func ReplayTrace(r io.Reader, cfg Config) (*Report, error) {
 // ReplayTraceBytes is ReplayTrace over an in-memory stream.
 func ReplayTraceBytes(b []byte, cfg Config) (*Report, error) {
 	return trace.ReplayBytes(b, cfg)
+}
+
+// ReplayTraceRecover replays as much of a damaged or hostile trace as
+// decodes cleanly: instead of returning a decode error, it detects races
+// over the longest well-formed prefix and describes the cut in the
+// report's Stats.Trace (Truncated, the event count, the decoder's
+// diagnosis). lim bounds the replay against hostile streams; the zero
+// value applies the default word cap.
+func ReplayTraceRecover(r io.Reader, cfg Config, lim TraceLimits) (*Report, error) {
+	return trace.ReplayRecover(r, cfg, lim)
 }
 
 // For runs body(i) for every i in [lo, hi) as a balanced spawn tree with

@@ -8,7 +8,7 @@
 //	futurerd-trace record -bench lcs [-variant ...] [-size ...]
 //	                      [-format v2|v1] -o trace.bin
 //	futurerd-trace replay -i trace.bin [-mode ...] [-mem ...] [-workers n]
-//	                      [-consumers n]
+//	                      [-consumers n] [-recover]
 //	futurerd-trace stat   -i trace.bin
 //
 // run executes one benchmark under a chosen detection algorithm and
@@ -21,8 +21,11 @@
 // event trace (format v2 by default; v1 for migration tooling). replay
 // re-detects a recorded trace — any format, any algorithm, any worker
 // count — and prints the same statistics as run; -workers exercises the
-// parallel range path. stat summarizes a trace: event counts, bytes per
-// event, and the compression ratio against the equivalent v1 encoding.
+// parallel range path. A corrupt trace fails with a one-line diagnosis
+// and a non-zero exit; -recover instead replays the longest well-formed
+// prefix and reports where and why the stream was cut. stat summarizes a
+// trace: event counts, bytes per event, and the compression ratio against
+// the equivalent v1 encoding.
 //
 // Invoking futurerd-trace with flags and no subcommand behaves as run.
 package main
@@ -246,6 +249,8 @@ func cmdReplay(args []string) {
 	mem := fs.String("mem", "full", "memory level: off, instr, full")
 	workers := fs.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
 	consumers := fs.Int("consumers", 0, "detection consumer pool width (<=1 single consumer)")
+	recover := fs.Bool("recover", false,
+		"replay the longest well-formed prefix of a damaged trace instead of failing")
 	fs.Parse(args)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "replay: -i is required")
@@ -257,14 +262,25 @@ func cmdReplay(args []string) {
 		fail(err)
 	}
 	defer f.Close()
-	rep, err := futurerd.ReplayTrace(f, futurerd.Config{Mode: m, Mem: ml, Workers: *workers, Consumers: *consumers})
+	cfg := futurerd.Config{Mode: m, Mem: ml, Workers: *workers, Consumers: *consumers}
+	var rep *futurerd.Report
+	if *recover {
+		rep, err = futurerd.ReplayTraceRecover(f, cfg, futurerd.TraceLimits{})
+	} else {
+		rep, err = futurerd.ReplayTrace(f, cfg)
+	}
 	if err != nil {
-		fail(fmt.Errorf("replay failed: %w", err))
+		// One line, one diagnosis, non-zero exit: a corrupt trace must be
+		// unmistakable to scripts and CI.
+		fail(fmt.Errorf("corrupt trace %s: %w (re-run with -recover to replay the intact prefix)", *in, err))
 	}
 	if rep.Err != nil {
 		fail(fmt.Errorf("engine error: %w", rep.Err))
 	}
 	fmt.Printf("workload        trace %s\n", *in)
+	if ts := rep.Stats.Trace; ts.Truncated {
+		fmt.Printf("trace cut       after %d events: %s\n", ts.TruncatedAtEvent, ts.Reason)
+	}
 	printReport(rep, ml)
 }
 

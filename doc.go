@@ -128,6 +128,20 @@
 // range, Consumers across independent batches, and both share one worker
 // pool.
 //
+// # Failure model
+//
+// The detection pipeline fails closed. A panic or stall on any pipeline
+// goroutine is recovered into a structured PipelineError (failed stage,
+// batch diagnostic, per-stage progress snapshot) returned through
+// Report.Err, with the engine poisoned so subsequent hooks return
+// instead of feeding a dead pipeline, and every goroutine joined before
+// Detect returns. Config.StallTimeout arms a watchdog that converts a
+// wedged stage into the same structured error (cause ErrStalled).
+// Trace inputs are treated as hostile — per-block checksums, bounded
+// chunked reads — and ReplayTraceRecover replays the longest
+// well-formed prefix of a damaged trace, describing the cut in
+// Stats.Trace. See the README's "Failure model" section.
+//
 // # Parallel execution
 //
 // The same program runs in parallel — without detection — on the bundled

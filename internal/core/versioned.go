@@ -113,6 +113,7 @@ type Versioned struct {
 	recorded uint64 // mutations ever recorded (the current version)
 	applied  uint64 // mutations applied to r
 	window   int
+	failed   bool // the applier died; Record must never block again
 
 	// pins counts goroutines currently reading the relation at the pinned
 	// (current applied) version; while it is non-zero the applier must not
@@ -157,7 +158,7 @@ func (v *Versioned) Lag() int {
 // version-bearing batch before recording when the log is near the bound).
 func (v *Versioned) Record(m Mut) uint64 {
 	v.mu.Lock()
-	for int(v.recorded-v.applied) >= v.window {
+	for !v.failed && int(v.recorded-v.applied) >= v.window {
 		v.space.Wait()
 	}
 	// Compact the consumed prefix once it dominates the slice; amortized
@@ -180,6 +181,16 @@ func (v *Versioned) Record(m Mut) uint64 {
 // the call is the immutable snapshot at that version (until the next
 // ApplyTo call advances it).
 func (v *Versioned) ApplyTo(version uint64) {
+	v.mu.Lock()
+	failed := v.failed
+	v.mu.Unlock()
+	if failed {
+		// The pipeline poisoned the log: the relation stops advancing (a
+		// half-applied relation must not answer any further query) and
+		// the failure-path Drain in the engine's report degenerates to a
+		// no-op instead of tripping the pin assertion below.
+		return
+	}
 	if v.pins.Load() != 0 {
 		// Advancing the relation while a consumer reads it at the pinned
 		// version would hand that consumer a snapshot newer than the one
@@ -206,6 +217,26 @@ func (v *Versioned) ApplyTo(version uint64) {
 // is active (back-end drained or stopped).
 func (v *Versioned) Drain() {
 	v.ApplyTo(v.recorded)
+}
+
+// Fail poisons the log after a pipeline failure: Record stops blocking
+// (the recorder would otherwise wait forever on an applier that died)
+// and ApplyTo becomes a no-op (the relation is frozen mid-history; a
+// partially-advanced relation must answer no further query). Mutations
+// recorded after Fail are retained but never applied. Safe from any
+// goroutine; irreversible for the run.
+func (v *Versioned) Fail() {
+	v.mu.Lock()
+	v.failed = true
+	v.space.Broadcast()
+	v.mu.Unlock()
+}
+
+// Failed reports whether Fail was called.
+func (v *Versioned) Failed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.failed
 }
 
 // Pin marks the current applied version as shared-read-pinned: any number

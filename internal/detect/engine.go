@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"futurerd/internal/core"
 	"futurerd/internal/event"
+	"futurerd/internal/faultinject"
 	"futurerd/internal/graph"
 	"futurerd/internal/shadow"
 )
@@ -126,6 +128,18 @@ type Engine struct {
 	// otherwise a single consumer goroutine in seal order.
 	be *pipeline
 
+	// faults is the run's fault-injection plan (nil in production: every
+	// probe is one nil check).
+	faults *faultinject.Plan
+
+	// poisoned is the fail-closed latch: the first pipeline failure
+	// stores its PipelineError here (and fails the versioned log so the
+	// engine can never block on a dead applier); every subsequent
+	// Read/Write/Begin*/End*/Sync/GetFut hook aborts the run with that
+	// error instead of feeding a broken pipeline. Written by pipeline
+	// goroutines, read by the engine goroutine.
+	poisoned atomic.Pointer[PipelineError]
+
 	labels map[core.FnID]string
 
 	// violMu guards violations: Verify-mode reachability mismatches are
@@ -162,6 +176,7 @@ func NewEngine(cfg Config) *Engine {
 		detecting: cfg.Mode != ModeNone,
 		mem:       cfg.Mem,
 		maxRaces:  cfg.MaxRaces,
+		faults:    cfg.Faults,
 	}
 	if e.maxRaces <= 0 {
 		e.maxRaces = DefaultMaxRaces
@@ -179,6 +194,7 @@ func NewEngine(cfg Config) *Engine {
 			// instrumentation baseline stays comparable to detecting runs
 			// configured with the same Workers.
 			e.hist = shadow.NewHistory()
+			e.hist.SetFaults(cfg.Faults)
 			if cfg.Workers > 1 {
 				e.pool = shadow.NewPool(cfg.Workers, cfg.WorkerChunk)
 			}
@@ -211,6 +227,7 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if cfg.Mem != MemOff {
 		e.hist = shadow.NewHistory()
+		e.hist.SetFaults(cfg.Faults)
 	}
 	if cfg.Workers > 1 && cfg.Mem != MemOff {
 		// The pool only engages when every Precedes the workers can make
@@ -461,8 +478,15 @@ func (e *Engine) Run(root func(*Task)) *Report {
 func (e *Engine) report() *Report {
 	e.seal()    // flush any still-open batch
 	e.be.stop() // quiesce the detection back-end (nil-safe)
+	if e.err == nil {
+		// A pipeline failure the engine never tripped over (it poisoned
+		// after the last hook ran) still fails the run closed.
+		if pe := e.poisoned.Load(); pe != nil {
+			e.err = pe
+		}
+	}
 	if e.vr != nil {
-		e.vr.Drain() // apply construct mutations recorded after the last batch
+		e.vr.Drain() // post-run mutation drain; no-op after a failure
 	}
 	e.pool.Close() // release the range workers (nil-safe)
 	if v, ok := e.reach.(*verifyReach); ok {
@@ -506,6 +530,74 @@ func (e *Engine) report() *Report {
 }
 
 func (e *Engine) fail(err error) { panic(engineFailure{err}) }
+
+// poisonWith latches the first pipeline failure: the error is stored for
+// every later hook to trip over, and the versioned mutation log is failed
+// so the engine can never block in Record waiting for an applier that
+// died. Idempotent; safe from any goroutine.
+func (e *Engine) poisonWith(pe *PipelineError) {
+	if e.poisoned.CompareAndSwap(nil, pe) {
+		if e.vr != nil {
+			e.vr.Fail()
+		}
+	}
+}
+
+// checkPoison aborts the run with the latched pipeline failure, if any.
+// Called at the head of every execution hook, so a poisoned engine
+// surfaces its error at the next instrumented operation instead of
+// deadlocking against a dead back-end.
+func (e *Engine) checkPoison() {
+	if pe := e.poisoned.Load(); pe != nil {
+		e.fail(pe)
+	}
+}
+
+// newPipelineError builds the structured failure for a recovered panic r
+// in the named stage, snapshotting the batch in hand and the pipeline's
+// progress counters.
+func (e *Engine) newPipelineError(stage string, b *event.Batch, r any) *PipelineError {
+	pe := &PipelineError{Stage: stage, Batch: batchDiag(b)}
+	if b != nil {
+		pe.Seq = b.Seq
+	}
+	if err, ok := r.(error); ok {
+		pe.Cause = err
+	} else {
+		pe.Cause = fmt.Errorf("panic: %v", r)
+	}
+	if e.be != nil {
+		pe.Progress = e.be.progress()
+	}
+	return pe
+}
+
+// rethrowIfDebugAudit re-raises a shadow install-audit violation under
+// the futurerd_debug build tag: the -race CI suite must halt hard on a
+// scheduler bug, while production builds fail closed through the normal
+// PipelineError path.
+func rethrowIfDebugAudit(r any) {
+	if faultinject.Debug {
+		if _, ok := r.(*shadow.AuditError); ok {
+			panic(r)
+		}
+	}
+}
+
+// checkBatchInline is processBatch on the synchronous pipeline (no
+// back-end goroutine), shelled so a detection-side panic — injected or
+// real — poisons the engine instead of unwinding through user frames as
+// a raw panic. No user code runs below this frame, so the recover cannot
+// mask a user panic.
+func (e *Engine) checkBatchInline(b *event.Batch) {
+	defer func() {
+		if r := recover(); r != nil {
+			rethrowIfDebugAudit(r)
+			e.poisonWith(e.newPipelineError("inline", b, r))
+		}
+	}()
+	e.processBatch(b)
+}
 
 // DAG runs root under the oracle recorder and returns the recorded
 // computation dag in Graphviz DOT format. Useful for visualizing small
@@ -563,6 +655,7 @@ func (e *Engine) Spawn(t *Task, f func(*Task)) {
 // the pair directly so task nesting lives on their explicit stack instead
 // of the Go call stack.
 func (e *Engine) BeginSpawn(t *Task) *Task {
+	e.checkPoison()
 	e.seal()
 	e.spawns++
 	e.gen++
@@ -602,6 +695,7 @@ func (e *Engine) EndSpawn(t, child *Task) {
 // Sync implements Executor: it decomposes the join into one binary join
 // per outstanding child, innermost (most recently spawned) first.
 func (e *Engine) Sync(t *Task) {
+	e.checkPoison()
 	e.seal()
 	e.syncs++
 	e.gen++
@@ -638,6 +732,7 @@ func (e *Engine) CreateFut(t *Task, body func(*Task) any) *Fut {
 // child task and the (not yet completed) handle. Pair with EndFut; see
 // BeginSpawn for the streaming-front-end rationale.
 func (e *Engine) BeginFut(t *Task) (*Task, *Fut) {
+	e.checkPoison()
 	e.seal()
 	e.creates++
 	e.gen++
@@ -678,6 +773,7 @@ func (e *Engine) EndFut(t, child *Task, h *Fut, val any) {
 
 // GetFut implements Executor.
 func (e *Engine) GetFut(t *Task, h *Fut) any {
+	e.checkPoison()
 	e.seal()
 	e.gets++
 	e.gen++
@@ -764,6 +860,7 @@ func (e *Engine) access(t *Task, k event.Kind, addr uint64, words int) {
 	if e.batch == nil || words <= 0 {
 		return
 	}
+	e.checkPoison()
 	if len(e.batch.Ops) > 0 && e.batch.Strand != t.strand {
 		// Unreachable today — the current strand only changes at
 		// constructs, which seal — but the single-strand batch invariant
@@ -807,12 +904,18 @@ func (e *Engine) flushBatch() {
 	b.Summarize(shadow.PageBits)
 	e.noteBatchStats(b)
 	e.stampDep(b)
+	if e.faults.Fire(faultinject.CorruptFootprint) {
+		// After noteBatchStats, so the deterministic Stats.Event counters
+		// stay identical to a fault-free run; only the scheduler and the
+		// install audit see the lie.
+		b.FP.Corrupt()
+	}
 	if e.be != nil {
 		e.batch = event.New()
 		e.be.submit(workItem{b: b})
 		return
 	}
-	e.processBatch(b)
+	e.checkBatchInline(b)
 	b.Reset()
 }
 
@@ -825,6 +928,10 @@ func (e *Engine) flushBatch() {
 // pool. Runs on the back-end goroutine when the pipeline is asynchronous,
 // inline otherwise.
 func (e *Engine) processBatch(b *event.Batch) {
+	if e.faults.Fire(faultinject.ConsumerPanic) {
+		panic(faultinject.Panic{Point: faultinject.ConsumerPanic})
+	}
+	e.faults.Delay(faultinject.ConsumerStall)
 	if e.vr != nil {
 		e.vr.ApplyTo(b.Version)
 	}

@@ -2,9 +2,11 @@ package detect
 
 import (
 	"fmt"
+	"time"
 
 	"futurerd/internal/core"
 	"futurerd/internal/event"
+	"futurerd/internal/faultinject"
 	"futurerd/internal/shadow"
 )
 
@@ -147,6 +149,23 @@ type Config struct {
 	// mismatches. Slow; for tests.
 	Verify bool
 
+	// StallTimeout arms the pipeline stall watchdog (asynchronous
+	// back-end only — Workers > 1 or Consumers > 1): each pipeline stage
+	// heartbeats through sealed/dispatched/checked progress counters, and
+	// if none advances for this long while work is outstanding, the run
+	// fails closed with a PipelineError whose Stage is "watchdog" and
+	// whose Progress dumps the per-stage state, instead of hanging. Zero
+	// disables the watchdog. The synchronous pipeline cannot stall
+	// between stages and is unaffected.
+	StallTimeout time.Duration
+
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// pipeline's instrumented sites — consumer panics, stage stalls,
+	// corrupted batch footprints, failed page materializations. For the
+	// robustness test suite; nil (the default) keeps every probe at one
+	// nil check.
+	Faults *faultinject.Plan
+
 	// OnRace, if non-nil, is called for each distinct race as found,
 	// always before Run returns and in report order. With Workers > 1
 	// detection runs on a back-end goroutine overlapping program
@@ -230,6 +249,27 @@ type Stats struct {
 	// footprint summary sizes. Counted at seal time on the engine
 	// goroutine, so identical across Workers/Consumers configurations.
 	Event event.Stats
+
+	// Trace describes how a trace replay ended; meaningful only for
+	// reports produced by the trace package's recovering replay (all
+	// zero otherwise).
+	Trace TraceStats
+}
+
+// TraceStats reports how a recovering trace replay ended: whether the
+// stream was cut short (truncation, a checksum mismatch, or a replay
+// limit) and after how many events. Set by trace.ReplayRecover; a direct
+// detection run leaves it zero.
+type TraceStats struct {
+	// Truncated is true when the stream ended early and the report covers
+	// only the prefix replayed up to that point.
+	Truncated bool
+	// TruncatedAtEvent is the count of events successfully replayed
+	// before the cut.
+	TruncatedAtEvent uint64
+	// Reason is the decoder's one-line diagnosis of the cut ("" when the
+	// stream replayed to its terminator).
+	Reason string
 }
 
 // Report is the outcome of a detection run.

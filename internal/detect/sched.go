@@ -39,14 +39,33 @@
 // delivery — the report stream itself are byte-identical to a serial run;
 // TestConsumersEquivalence pins that across algorithms, consumer counts
 // and worker widths.
+//
+// # Fail-closed operation
+//
+// Every pipeline goroutine runs its per-batch work inside a recover
+// shell: a panic — a detector bug, a shadow install-audit violation, or
+// an injected fault — is converted into a structured PipelineError that
+// poisons the engine (subsequent hooks abort the run with it) and flips
+// the pipeline into drain mode, in which remaining items are discarded,
+// in-flight consumers are joined, and stop() still returns. Nothing
+// blocks forever: the engine's submit path selects against the failure
+// latch, the versioned mutation log is failed so Record never waits on a
+// dead applier, and an optional watchdog (Config.StallTimeout) converts
+// a silent stall into the same structured teardown. The fault matrix in
+// fault_test.go drives every injected fault class through this machinery
+// and asserts the run either matches serial verdicts exactly or returns
+// one PipelineError with no goroutine left behind.
 package detect
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"futurerd/internal/core"
 	"futurerd/internal/event"
+	"futurerd/internal/faultinject"
 	"futurerd/internal/shadow"
 )
 
@@ -75,15 +94,32 @@ type pipeline struct {
 	e         *Engine
 	consumers int
 	items     chan workItem
-	pending   sync.WaitGroup
 	stopped   sync.Once
 	schedDone chan struct{}
 	nextSeq   uint64 // engine goroutine only (stamped at submit)
 
-	// maxWindow is the largest batch window dispatched in one epoch —
-	// written by the scheduler goroutine, read after stop. A diagnostic
-	// (window formation is timing-dependent), deliberately not in Stats.
-	maxWindow int
+	// failCh is the pipeline's failure latch, closed exactly once by the
+	// first fail(). Every blocking hand-off in the pipeline selects
+	// against it so no goroutine can wait forever on a stage that died.
+	failCh   chan struct{}
+	failOnce sync.Once
+
+	// Per-stage heartbeats (seal-order item counts): hbSealed advances
+	// when the engine submits an item, hbDispatched when a checking
+	// goroutine picks one up, hbChecked when an item is fully processed
+	// (checked, answered, or discarded on the drain path). hbSealed ==
+	// hbChecked means the pipeline is quiescent. The watchdog fires when
+	// none of these (nor the window gauge) moves for Config.StallTimeout
+	// while work is outstanding.
+	hbSealed     atomic.Uint64
+	hbDispatched atomic.Uint64
+	hbChecked    atomic.Uint64
+	hbActive     atomic.Int64 // batches dispatched, not yet completed
+
+	// hbMaxWindow is the largest batch window dispatched in one epoch —
+	// a diagnostic (window formation is timing-dependent), deliberately
+	// not in Stats.
+	hbMaxWindow atomic.Int64
 
 	// testHook, when non-nil, runs on the checking goroutine before each
 	// non-empty batch is checked; pipeline tests use it to hold batches in
@@ -97,54 +133,169 @@ func newPipeline(e *Engine, consumers int) *pipeline {
 		consumers: consumers,
 		items:     make(chan workItem, 16),
 		schedDone: make(chan struct{}),
+		failCh:    make(chan struct{}),
 	}
 	if consumers <= 1 {
 		go p.runSingle()
 	} else {
 		go p.schedule()
 	}
+	if d := e.cfg.StallTimeout; d > 0 {
+		go p.watchdog(d)
+	}
 	return p
 }
 
+// progress snapshots the heartbeat counters. Safe from any goroutine.
+func (p *pipeline) progress() PipelineProgress {
+	return PipelineProgress{
+		Sealed:       p.hbSealed.Load(),
+		Dispatched:   p.hbDispatched.Load(),
+		Checked:      p.hbChecked.Load(),
+		ActiveWindow: int(p.hbActive.Load()),
+		MaxWindow:    int(p.hbMaxWindow.Load()),
+	}
+}
+
+// fail records the pipeline's first failure: the engine is poisoned (its
+// next hook aborts the run with pe, and the versioned log stops blocking
+// its recorder) and the failure latch is closed so every pipeline
+// hand-off unblocks into drain mode. Later failures are dropped — the
+// first one is the diagnosis.
+func (p *pipeline) fail(pe *PipelineError) {
+	p.failOnce.Do(func() {
+		p.e.poisonWith(pe)
+		close(p.failCh)
+	})
+}
+
+// failed reports (without blocking) whether the failure latch is closed.
+func (p *pipeline) failed() bool {
+	select {
+	case <-p.failCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// newError builds the structured failure for a recovered panic r in the
+// named stage, with the pipeline's progress attached.
+func (p *pipeline) newError(stage string, b *event.Batch, r any) *PipelineError {
+	pe := p.e.newPipelineError(stage, b, r)
+	pe.Progress = p.progress()
+	return pe
+}
+
+// guard runs fn and recovers any panic into a structured PipelineError
+// (nil when fn completes). Audit violations re-panic under the
+// futurerd_debug build tag; see rethrowIfDebugAudit.
+func (p *pipeline) guard(stage string, b *event.Batch, fn func()) (pe *PipelineError) {
+	defer func() {
+		if r := recover(); r != nil {
+			rethrowIfDebugAudit(r)
+			pe = p.newError(stage, b, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
 // submit hands one item to the pipeline, stamping its sequence number.
-// Engine goroutine only. Memory ordering: the channel send publishes the
-// batch; the final drain observes all checking-side writes via pending.
+// Engine goroutine only. The send selects against the failure latch so a
+// dead pipeline can never block the engine; the dropped item is
+// irrelevant because the poisoned engine aborts at its next hook.
 func (p *pipeline) submit(it workItem) {
 	p.nextSeq++
 	it.b.Seq = p.nextSeq
-	p.pending.Add(1)
-	p.items <- it
+	p.hbSealed.Store(p.nextSeq)
+	select {
+	case p.items <- it:
+	case <-p.failCh:
+		event.Recycle(it.b)
+	}
 }
 
-// stop drains and releases the pipeline's goroutines. Idempotent,
-// nil-safe.
+// stop closes intake and joins every pipeline goroutine — on the success
+// path after all items are checked, on the failure path after the drain
+// discards what remains. Idempotent, nil-safe; engine goroutine only
+// (the only sender on items).
 func (p *pipeline) stop() {
 	if p == nil {
 		return
 	}
 	p.stopped.Do(func() {
-		p.pending.Wait()
 		close(p.items)
 		<-p.schedDone
 	})
 }
 
 // runSingle is the single-consumer loop: items are processed in seal
-// order, each batch's mutations applied just before it is checked.
+// order, each batch's mutations applied just before it is checked. After
+// a failure — its own recovered panic or an external one (watchdog) —
+// the loop drains remaining items without touching the relation, so
+// stop() always joins.
 func (p *pipeline) runSingle() {
+	defer close(p.schedDone)
 	e := p.e
 	for it := range p.items {
-		if it.disc == nil && p.testHook != nil {
-			p.testHook(it.b)
-		}
-		e.processBatch(it.b)
-		if it.disc != nil {
-			e.evalDisc(it.disc)
+		p.hbDispatched.Add(1)
+		if !p.failed() {
+			it := it
+			if pe := p.guard("consumer", it.b, func() {
+				if it.disc == nil && p.testHook != nil {
+					p.testHook(it.b)
+				}
+				e.processBatch(it.b)
+				if it.disc != nil {
+					e.evalDisc(it.disc)
+				}
+			}); pe != nil {
+				p.fail(pe)
+			}
 		}
 		event.Recycle(it.b)
-		p.pending.Done()
+		p.hbChecked.Add(1)
 	}
-	close(p.schedDone)
+}
+
+// watchdog converts a silent pipeline stall into a structured teardown:
+// it samples the heartbeat counters at a quarter of the configured
+// timeout and fails the pipeline when nothing has advanced for a full
+// timeout while work is outstanding (sealed > checked). It exits with
+// the pipeline, or as soon as any stage has already failed.
+func (p *pipeline) watchdog(timeout time.Duration) {
+	tick := timeout / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var last PipelineProgress
+	var stuck time.Duration
+	for {
+		select {
+		case <-p.schedDone:
+			return
+		case <-p.failCh:
+			return
+		case <-t.C:
+		}
+		cur := p.progress()
+		if cur != last {
+			last, stuck = cur, 0
+			continue
+		}
+		if cur.Sealed == cur.Checked {
+			stuck = 0 // quiescent: nothing outstanding to stall on
+			continue
+		}
+		stuck += tick
+		if stuck >= timeout {
+			p.fail(&PipelineError{Stage: "watchdog", Progress: cur, Cause: ErrStalled})
+			return
+		}
+	}
 }
 
 // consResult is one checked batch coming back from a consumer.
@@ -152,51 +303,71 @@ type consResult struct {
 	seq    uint64
 	strand core.StrandID
 	events []shadow.RaceEvent // copied; nil when the batch was race-free
+	err    *PipelineError     // the batch's check panicked; events invalid
 }
 
 // consume is one consumer goroutine of the multi-consumer pool: it checks
 // dispatched batches on its private shadow view and reports buffered race
-// events back for in-order delivery.
+// events back for in-order delivery. A panic while checking — injected,
+// an audit violation, or a detector bug — is recovered into the result's
+// err so the scheduler's accounting never loses the batch; the consumer
+// itself keeps serving until work closes, so the join is unconditional.
 func (p *pipeline) consume(id int, work <-chan *event.Batch, results chan<- consResult, wg *sync.WaitGroup) {
 	defer wg.Done()
 	e := p.e
 	view := shadow.NewView(e.hist, id)
 	var claims []shadow.PageClaim
 	for b := range work {
-		if p.testHook != nil {
-			p.testHook(b)
-		}
 		res := consResult{seq: b.Seq, strand: b.Strand}
-		ctx := e.sctx // prototype copy; race sinks unused (events buffer)
-		ctx.Gen = b.Gen
-		view.Begin(&ctx, b.Strand)
-		full := e.mem == MemFull
-		if full {
-			// The install audit asserts concurrent batches touch disjoint
-			// shadow pages. Instrumentation-only batches never touch shadow
-			// state (TouchRange is a pure checksum), so the scheduler
-			// legitimately overlaps them and they claim nothing.
-			claims = claims[:0]
-			for _, sp := range b.FP.Spans {
-				claims = append(claims, shadow.PageClaim{Lo: sp.Lo, Hi: sp.Hi})
+		if pe := p.guard("consumer", b, func() {
+			if p.testHook != nil {
+				p.testHook(b)
 			}
-			view.Claim(claims)
-		}
-		for i := range b.Ops {
-			op := &b.Ops[i]
-			switch {
-			case !full:
-				view.TouchRange(op.Addr, op.Words, e.pool)
-			case op.Kind == event.Read:
-				view.ReadRange(op.Addr, op.Words, e.pool)
-			default:
-				view.WriteRange(op.Addr, op.Words, e.pool)
+			if e.faults.Fire(faultinject.ConsumerPanic) {
+				panic(faultinject.Panic{Point: faultinject.ConsumerPanic})
 			}
+			e.faults.Delay(faultinject.ConsumerStall)
+			ctx := e.sctx // prototype copy; race sinks unused (events buffer)
+			ctx.Gen = b.Gen
+			view.Begin(&ctx, b.Strand)
+			full := e.mem == MemFull
+			if full {
+				// The install audit asserts concurrent batches touch disjoint
+				// shadow pages. Instrumentation-only batches never touch shadow
+				// state (TouchRange is a pure checksum), so the scheduler
+				// legitimately overlaps them and they claim nothing.
+				claims = claims[:0]
+				for _, sp := range b.FP.Spans {
+					claims = append(claims, shadow.PageClaim{Lo: sp.Lo, Hi: sp.Hi})
+				}
+				view.Claim(claims)
+			}
+			for i := range b.Ops {
+				op := &b.Ops[i]
+				switch {
+				case !full:
+					view.TouchRange(op.Addr, op.Words, e.pool)
+				case op.Kind == event.Read:
+					view.ReadRange(op.Addr, op.Words, e.pool)
+				default:
+					view.WriteRange(op.Addr, op.Words, e.pool)
+				}
+			}
+			if evs := view.Events(); len(evs) > 0 {
+				res.events = append([]shadow.RaceEvent(nil), evs...)
+			}
+			view.End()
+		}); pe != nil {
+			res.err = pe
+			res.events = nil
+			// The view may have died mid-batch with counters unfolded and
+			// audit claims held; End is recover-shelled because the view's
+			// state is arbitrary at this point.
+			func() {
+				defer func() { recover() }()
+				view.End()
+			}()
 		}
-		if evs := view.Events(); len(evs) > 0 {
-			res.events = append([]shadow.RaceEvent(nil), evs...)
-		}
-		view.End()
 		event.Recycle(b)
 		results <- res
 	}
@@ -229,11 +400,12 @@ func (p *pipeline) compatible(it workItem, win []workItem) bool {
 	return true
 }
 
-// schedule is the multi-consumer scheduler goroutine: it accumulates the
-// next window while the active one executes, flushes windows as epochs,
-// and delivers race reports through a sequence-ordered reorder buffer.
+// schedule is the multi-consumer scheduler goroutine: it starts the
+// consumer pool, runs the window loop inside a recover shell, and joins
+// the consumers unconditionally — draining any in-flight results while it
+// waits, so a consumer's send can never deadlock the teardown.
 func (p *pipeline) schedule() {
-	e := p.e
+	defer close(p.schedDone)
 	work := make(chan *event.Batch)
 	results := make(chan consResult, p.consumers)
 	var consumers sync.WaitGroup
@@ -241,6 +413,34 @@ func (p *pipeline) schedule() {
 		consumers.Add(1)
 		go p.consume(i, work, results, &consumers)
 	}
+	if pe := p.guard("scheduler", nil, func() {
+		p.scheduleLoop(work, results)
+	}); pe != nil {
+		p.fail(pe)
+	}
+	close(work)
+	joined := make(chan struct{})
+	go func() {
+		consumers.Wait()
+		close(joined)
+	}()
+	for {
+		select {
+		case <-results:
+		case <-joined:
+			return
+		}
+	}
+}
+
+// scheduleLoop accumulates the next window while the active one executes,
+// flushes windows as epochs, and delivers race reports through a
+// sequence-ordered reorder buffer. On failure — a consumer's returned
+// error, its own bail, or the external latch — it discards everything not
+// in flight, keeps accounting for what is, and drains intake until the
+// engine closes it.
+func (p *pipeline) scheduleLoop(work chan<- *event.Batch, results <-chan consResult) {
+	e := p.e
 
 	var (
 		win         []workItem // window being accumulated
@@ -248,6 +448,7 @@ func (p *pipeline) schedule() {
 		closed      bool       // items channel closed
 		active      int        // dispatched, not yet completed
 		pinned      bool       // relation snapshot pin held
+		failed      bool       // drain mode: discard instead of dispatch
 		dispatch    []*event.Batch
 		dispatched  int
 		slots       []*consResult  // reorder buffer for the active window
@@ -256,17 +457,60 @@ func (p *pipeline) schedule() {
 	)
 	slotOf = make(map[uint64]int)
 
+	// enterFailed flips the loop into drain mode: everything not in the
+	// consumers' hands is recycled (with its active/checked accounting
+	// settled), nothing further is dispatched, and intake drains until
+	// the engine closes it. Idempotent.
+	enterFailed := func() {
+		if failed {
+			return
+		}
+		failed = true
+		for i := range win {
+			event.Recycle(win[i].b)
+			p.hbChecked.Add(1)
+		}
+		win = win[:0]
+		if hold != nil {
+			event.Recycle(hold.b)
+			p.hbChecked.Add(1)
+			hold = nil
+		}
+		// Undispatched batches of the active window were counted into
+		// active at flush but will never produce a result.
+		for _, b := range dispatch[dispatched:] {
+			event.Recycle(b)
+			p.hbChecked.Add(1)
+			active--
+		}
+		dispatch = dispatch[:0]
+		dispatched = 0
+		p.hbActive.Store(int64(active))
+		if active == 0 && pinned {
+			e.vr.Unpin()
+			pinned = false
+		}
+	}
 	deliver := func(r *consResult) {
 		for _, ev := range r.events {
 			e.reportRace(ev.Addr, ev.Racer.Prev, r.strand, ev.Racer.PrevWrite, ev.Write)
 		}
-		p.pending.Done()
 	}
 	handleResult := func(r consResult) {
 		active--
+		p.hbActive.Store(int64(active))
+		p.hbChecked.Add(1)
 		if active == 0 && pinned {
 			e.vr.Unpin()
 			pinned = false
+		}
+		if r.err != nil {
+			p.fail(r.err)
+			enterFailed()
+			return
+		}
+		if failed {
+			return // late result of a pre-failure dispatch; verdicts moot
 		}
 		i := slotOf[r.seq]
 		slots[i] = &r
@@ -276,6 +520,11 @@ func (p *pipeline) schedule() {
 		}
 	}
 	admit := func(it workItem) {
+		if failed {
+			event.Recycle(it.b)
+			p.hbChecked.Add(1)
+			return
+		}
 		if hold == nil && p.compatible(it, win) {
 			win = append(win, it)
 		} else {
@@ -287,6 +536,14 @@ func (p *pipeline) schedule() {
 	// applied, deferred discipline checks answered in stream order, and
 	// the window's real batches dispatched under a pinned snapshot.
 	flush := func() {
+		e.faults.Delay(faultinject.SchedulerStall)
+		if p.failed() {
+			// The latch closed while this goroutine slept (the watchdog's
+			// stall path): the window must not be dispatched against a
+			// relation that will no longer advance.
+			enterFailed()
+			return
+		}
 		last := win[len(win)-1]
 		if e.vr != nil {
 			e.vr.ApplyTo(last.b.Version)
@@ -298,7 +555,7 @@ func (p *pipeline) schedule() {
 			}
 			if len(it.b.Ops) == 0 {
 				event.Recycle(it.b)
-				p.pending.Done()
+				p.hbChecked.Add(1)
 				continue
 			}
 			dispatch = append(dispatch, it.b)
@@ -307,8 +564,8 @@ func (p *pipeline) schedule() {
 		if len(dispatch) == 0 {
 			return
 		}
-		if len(dispatch) > p.maxWindow {
-			p.maxWindow = len(dispatch)
+		if n := int64(len(dispatch)); n > p.hbMaxWindow.Load() {
+			p.hbMaxWindow.Store(n)
 		}
 		if e.vr != nil {
 			e.vr.Pin()
@@ -324,10 +581,14 @@ func (p *pipeline) schedule() {
 		}
 		nextDeliver = 0
 		active = len(dispatch)
+		p.hbActive.Store(int64(active))
 		dispatched = 0
 	}
 
 	for {
+		if !failed && p.failed() {
+			enterFailed()
+		}
 		// Push undispatched batches of the flushed window to the
 		// consumers, draining results in between so a full pool can never
 		// deadlock the hand-off.
@@ -335,12 +596,13 @@ func (p *pipeline) schedule() {
 			select {
 			case work <- dispatch[dispatched]:
 				dispatched++
+				p.hbDispatched.Add(1)
 			case r := <-results:
 				handleResult(r)
 			}
 		}
 		// Opportunistically take everything already queued.
-		for hold == nil && !closed {
+		for hold == nil && !closed && !failed {
 			var it workItem
 			var ok bool
 			select {
@@ -356,11 +618,11 @@ func (p *pipeline) schedule() {
 		// Epoch boundary: nothing in flight — flush what accumulated, or
 		// promote the held item into the fresh window.
 		if active == 0 {
-			if len(win) > 0 {
+			if !failed && len(win) > 0 {
 				flush()
 				continue
 			}
-			if hold != nil {
+			if !failed && hold != nil {
 				it := *hold
 				hold = nil
 				win = append(win, it)
@@ -396,9 +658,6 @@ func (p *pipeline) schedule() {
 			}
 		}
 	}
-	close(work)
-	consumers.Wait()
-	close(p.schedDone)
 }
 
 // evalDisc answers one deferred discipline check against the relation at
@@ -427,5 +686,5 @@ func (e *Engine) MaxDispatchedWindow() int {
 	if e.be == nil {
 		return 0
 	}
-	return e.be.maxWindow
+	return int(e.be.hbMaxWindow.Load())
 }

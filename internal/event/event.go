@@ -108,6 +108,20 @@ func (f *Footprint) Pages() uint64 {
 	return n
 }
 
+// Corrupt deliberately falsifies the summary for fault-injection runs: the
+// footprint shrinks to a single page of its first span and claims to be
+// exact, so it no longer covers the batch's real accesses. The scheduler
+// may then overlap batches that in fact share pages — exactly the lie the
+// shadow install audit exists to catch. Production code never calls this.
+func (f *Footprint) Corrupt() {
+	if len(f.Spans) == 0 {
+		return
+	}
+	f.Spans = f.Spans[:1]
+	f.Spans[0].Hi = f.Spans[0].Lo
+	f.Exact = true
+}
+
 // Overlaps reports whether the two summaries share a page. Both span
 // lists are sorted, so the test is a linear merge.
 func (f *Footprint) Overlaps(g *Footprint) bool {

@@ -1,0 +1,47 @@
+package faultinject
+
+// Trace-corruption modes, returned by CorruptBytes alongside the mangled
+// stream so tests can label what they fed the reader.
+const (
+	CorruptTruncate    = "truncate"
+	CorruptBitFlip     = "bit-flip"
+	CorruptForgePrefix = "forge-prefix"
+)
+
+// CorruptBytes returns a hostile copy of data, deterministically derived
+// from seed: truncated mid-stream, one bit flipped, or a forged
+// varint length prefix spliced in right after the header (the OOM probe
+// — a tiny stream claiming a near-maximal block). The original slice is
+// never modified. The second return names the mode for test labels.
+//
+// skip is the byte length of any header the corruption must preserve
+// (a trace magic); streams no longer than skip are returned unchanged.
+func CorruptBytes(seed uint64, data []byte, skip int) ([]byte, string) {
+	if len(data) <= skip {
+		return append([]byte(nil), data...), "unchanged"
+	}
+	h := splitmix64(seed)
+	body := len(data) - skip
+	switch h % 3 {
+	case 0:
+		// Truncate: cut the stream somewhere inside the body (possibly
+		// right after the header — the empty-body case must error too).
+		cut := skip + int(splitmix64(h)%uint64(body))
+		return append([]byte(nil), data[:cut]...), CorruptTruncate
+	case 1:
+		// Flip one bit somewhere in the body.
+		out := append([]byte(nil), data...)
+		off := skip + int(splitmix64(h)%uint64(body))
+		out[off] ^= 1 << (splitmix64(h+1) % 8)
+		return out, CorruptBitFlip
+	default:
+		// Forge a length prefix: splice a varint claiming a block of
+		// 2^26-1 bytes — just inside the format's plausibility bound —
+		// where the first block header sits. A reader that trusts the
+		// prefix and pre-allocates OOMs on a stream a few bytes long.
+		out := append([]byte(nil), data[:skip]...)
+		out = append(out, 0xFF, 0xFF, 0xFF, 0x1F) // uvarint 0x3FFFFFF
+		out = append(out, data[skip:]...)
+		return out, CorruptForgePrefix
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !futurerd_debug
+
+package faultinject
+
+// Debug reports whether the futurerd_debug build tag is set. In normal
+// builds the shadow install audit's violation is recovered into a
+// structured PipelineError like any other pipeline failure; under the
+// debug tag (the -race CI suite) it re-panics so a scheduler bug halts
+// the process hard instead of failing closed.
+const Debug = false

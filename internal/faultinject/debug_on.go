@@ -1,0 +1,8 @@
+//go:build futurerd_debug
+
+package faultinject
+
+// Debug is true under the futurerd_debug build tag: shadow install-audit
+// violations re-panic out of the pipeline's recover shells so the -race
+// CI suite halts hard on a scheduler bug instead of failing closed.
+const Debug = true

@@ -1,0 +1,47 @@
+package faultinject
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// TB is the sliver of *testing.T the leak check needs; taking an
+// interface keeps the testing package out of non-test builds of this
+// package's importers.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// GoroutineLeakCheck snapshots the goroutine count and registers a
+// cleanup that fails the test if the count has not returned to the
+// snapshot (with a settle loop for goroutines mid-exit) — the "no
+// goroutine left behind" half of the fail-closed invariant, wrapped
+// around every engine error-path test. On failure it dumps the live
+// goroutine stacks so the leaked stage is identifiable.
+//
+// The count is process-global, so tests using this must not run in
+// parallel with tests that start background goroutines.
+func GoroutineLeakCheck(t TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		var buf bytes.Buffer
+		pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		t.Errorf("goroutine leak: %d before, %d after settle\n%s",
+			before, runtime.NumGoroutine(), buf.String())
+	})
+}

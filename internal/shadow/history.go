@@ -63,6 +63,7 @@ import (
 	"sync/atomic"
 
 	"futurerd/internal/core"
+	"futurerd/internal/faultinject"
 )
 
 // PageBits sets the page size: 2^PageBits words per page.
@@ -193,6 +194,11 @@ type History struct {
 	parRanges       uint64 // range ops that actually fanned out
 	parChunks       uint64 // chunks processed across all fan-outs
 	touched         uint64 // Touch checksum; keeps the instr config honest
+
+	// faults is the run's fault-injection plan (nil in production): its
+	// only probe here is PageFail, fired at page materialization to model
+	// a failed shadow allocation. See SetFaults.
+	faults *faultinject.Plan
 }
 
 // NewHistory returns an empty access history.
@@ -201,6 +207,21 @@ func NewHistory() *History {
 	root := []*directory(nil)
 	h.dirs.Store(&root)
 	return h
+}
+
+// SetFaults arms fault injection on the history (nil disarms — the
+// default; every probe is then one nil check). Call before any access.
+func (h *History) SetFaults(p *faultinject.Plan) { h.faults = p }
+
+// maybeFailPage is the PageFail probe: a firing plan turns this page
+// materialization into a panic, modeling a failed shadow-page allocation.
+// The detection pipeline's recover shell converts it into a structured
+// PipelineError, which is the point: allocation failure anywhere in the
+// shadow layer must fail the run closed, not corrupt it.
+func (h *History) maybeFailPage() {
+	if h.faults.Fire(faultinject.PageFail) {
+		panic(faultinject.Panic{Point: faultinject.PageFail})
+	}
 }
 
 // growDirs returns a root slab whose entry di exists and is non-nil,
@@ -243,6 +264,7 @@ func (h *History) pageFor(pn uint64) *page {
 		d := slab[di]
 		p = d[pn&dirMask].Load()
 		if p == nil {
+			h.maybeFailPage()
 			p = new(page)
 			d[pn&dirMask].Store(p)
 			h.touchedPages++
@@ -253,6 +275,7 @@ func (h *History) pageFor(pn uint64) *page {
 		}
 		p = h.overflow[pn]
 		if p == nil {
+			h.maybeFailPage()
 			p = new(page)
 			h.overflow[pn] = p
 			h.touchedPages++

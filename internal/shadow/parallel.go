@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"futurerd/internal/core"
+	"futurerd/internal/faultinject"
 )
 
 // DefaultChunkWords is the default chunk granule of the parallel range
@@ -118,9 +119,20 @@ type chunkJob struct {
 	addr uint64
 	n    int
 	done *sync.WaitGroup
+
+	// panicked holds the recovered panic of run, if any; the fan-out
+	// coordinator re-raises it on its own goroutine once the join
+	// completes. A raw panic on a pool worker would kill the process with
+	// no recover shell above it.
+	panicked any
 }
 
 func (j *chunkJob) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked = r
+		}
+	}()
 	switch j.op {
 	case opRead:
 		j.cs.readRange(j.addr, j.n)
@@ -376,6 +388,10 @@ func (h *History) pageForShared(pn uint64) *page {
 		mu.Lock()
 		p := e.Load()
 		if p == nil {
+			if h.faults.Fire(faultinject.PageFail) {
+				mu.Unlock()
+				panic(faultinject.Panic{Point: faultinject.PageFail})
+			}
 			p = new(page)
 			e.Store(p)
 			atomic.AddUint64(&h.touchedPages, 1)
@@ -391,6 +407,10 @@ func (h *History) pageForShared(pn uint64) *page {
 	}
 	p := h.overflow[pn]
 	if p == nil {
+		if h.faults.Fire(faultinject.PageFail) {
+			h.dirMu.Unlock()
+			panic(faultinject.Panic{Point: faultinject.PageFail})
+		}
 		p = new(page)
 		h.overflow[pn] = p
 		atomic.AddUint64(&h.touchedPages, 1)
@@ -480,6 +500,15 @@ func (h *History) fanOut(op int, addr uint64, words int, s core.StrandID, ctx *C
 		break
 	}
 	done.Wait()
+	// Surface a worker-side panic (a detector bug or an injected fault) on
+	// the coordinator, where the pipeline's recover shell can convert it
+	// into a structured failure. Every job has completed, so the pool is
+	// quiescent and nothing leaks.
+	for i := range jobs {
+		if r := jobs[i].panicked; r != nil {
+			panic(r)
+		}
+	}
 	sink.parRanges++
 	sink.parChunks += uint64(nchunks)
 	for i := range jobs {

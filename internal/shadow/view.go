@@ -32,8 +32,6 @@
 package shadow
 
 import (
-	"fmt"
-
 	"futurerd/internal/core"
 )
 
@@ -88,9 +86,11 @@ func (h *History) auditClaimSpans(id int, spans []PageClaim) {
 		for _, sp := range held {
 			for _, c := range spans {
 				if c.Lo <= sp.Hi && sp.Lo <= c.Hi {
-					panic(fmt.Sprintf(
-						"shadow: concurrent consumers %d and %d claim overlapping pages [%d,%d] vs [%d,%d]",
-						id, other, c.Lo, c.Hi, sp.Lo, sp.Hi))
+					panic(&AuditError{
+						Kind: "claim-overlap",
+						View: id, Other: other,
+						Op: c, Conflict: sp,
+					})
 				}
 			}
 		}
@@ -144,9 +144,13 @@ func (v *View) claim(addr uint64, words int) {
 			return
 		}
 	}
-	panic(fmt.Sprintf(
-		"shadow: consumer %d op pages [%d,%d] escape the batch footprint %v",
-		v.id, lo, hi, v.claims))
+	panic(&AuditError{
+		Kind: "footprint-escape",
+		View: v.id,
+		Op:   PageClaim{Lo: lo, Hi: hi},
+		// Copied: the thrown error outlives the view's reused claim buffer.
+		Claims: append([]PageClaim(nil), v.claims...),
+	})
 }
 
 // drainOp tags the op's buffered events with its access kind and moves

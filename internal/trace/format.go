@@ -8,11 +8,16 @@ import (
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"futurerd/internal/detect"
 	"futurerd/internal/event"
 )
+
+// castagnoli is the CRC32-C table for per-block checksums (hardware
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // v2 structural opcodes (0x00–0x0F).
 const (
@@ -157,9 +162,14 @@ func (r *recorder) flushBlock() {
 		r.err = err
 		return
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
+	var hdr [2*binary.MaxVarintLen64 + 4]byte
 	n := binary.PutUvarint(hdr[:], uint64(r.comp.Len()))
 	n += binary.PutUvarint(hdr[n:], uint64(len(r.raw)))
+	// Per-block CRC32-C of the compressed payload: a bit flip anywhere in
+	// the block is diagnosed as corruption instead of surfacing as a flate
+	// error (or worse, decoding to plausible garbage events).
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.Checksum(r.comp.Bytes(), castagnoli))
+	n += 4
 	if _, err := r.w.Write(hdr[:n]); err != nil {
 		r.err = err
 		return
@@ -326,8 +336,41 @@ func malformed(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadTrace, fmt.Sprintf(format, args...))
 }
 
-// loadBlock reads and decompresses the next block; it reports false at
-// the terminator.
+// readChunk is the growth granule of the hostile-input read loops below:
+// a declared length is only trusted one chunk at a time, as bytes
+// actually arrive, so a forged multi-megabyte length prefix on a
+// ten-byte stream allocates one chunk, not the declared size.
+const readChunk = 64 << 10
+
+// readCapped appends exactly want bytes from r to buf[:0], growing chunk
+// by chunk. Allocation is proportional to bytes received, never to the
+// (attacker-controlled) declared length.
+func readCapped(r io.Reader, buf []byte, want uint64) ([]byte, error) {
+	buf = buf[:0]
+	for got := uint64(0); got < want; {
+		c := want - got
+		if c > readChunk {
+			c = readChunk
+		}
+		start := len(buf)
+		if free := uint64(cap(buf) - start); free < c {
+			buf = append(buf[:cap(buf)], make([]byte, c-free)...)
+		}
+		buf = buf[:start+int(c)]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return buf[:start], err
+		}
+		got += c
+	}
+	return buf, nil
+}
+
+// loadBlock reads, checks and decompresses the next block; it reports
+// false at the terminator. Every declared length is bounded before use
+// and read incrementally, and the compressed payload must match its
+// recorded CRC32-C, so a truncated, bit-flipped or forged stream is
+// diagnosed here — it can neither allocate unbounded memory nor leak
+// garbage events into replay.
 func (d *v2Decoder) loadBlock() (bool, error) {
 	compLen, err := binary.ReadUvarint(d.r)
 	if err != nil {
@@ -343,23 +386,23 @@ func (d *v2Decoder) loadBlock() (bool, error) {
 	if compLen > maxBlock || rawLen == 0 || rawLen > maxBlock {
 		return false, malformed("implausible block size (%d compressed, %d raw)", compLen, rawLen)
 	}
-	if uint64(cap(d.comp)) < compLen {
-		d.comp = make([]byte, compLen)
+	var sumb [4]byte
+	if _, err := io.ReadFull(d.r, sumb[:]); err != nil {
+		return false, malformed("truncated block header: %v", err)
 	}
-	d.comp = d.comp[:compLen]
-	if _, err := io.ReadFull(d.r, d.comp); err != nil {
+	want := binary.LittleEndian.Uint32(sumb[:])
+	if d.comp, err = readCapped(d.r, d.comp, compLen); err != nil {
 		return false, malformed("truncated block: %v", err)
+	}
+	if got := crc32.Checksum(d.comp, castagnoli); got != want {
+		return false, malformed("block checksum mismatch (%#08x, want %#08x)", got, want)
 	}
 	if d.fr == nil {
 		d.fr = flate.NewReader(bytes.NewReader(d.comp))
 	} else if err := d.fr.(flate.Resetter).Reset(bytes.NewReader(d.comp), nil); err != nil {
 		return false, malformed("flate reset: %v", err)
 	}
-	if uint64(cap(d.raw)) < rawLen {
-		d.raw = make([]byte, rawLen)
-	}
-	d.raw = d.raw[:rawLen]
-	if _, err := io.ReadFull(d.fr, d.raw); err != nil {
+	if d.raw, err = readCapped(d.fr, d.raw, rawLen); err != nil {
 		return false, malformed("block decompression: %v", err)
 	}
 	d.pos = 0

@@ -14,8 +14,14 @@
 // through the same event-batch layer the engine uses (internal/event),
 // so contiguous word accesses coalesce into range events before they are
 // encoded, and the encoded stream is framed into length-prefixed,
-// DEFLATE-compressed blocks so readers stream one block at a time.
-// Inside a block, events are
+// CRC32-C-checksummed, DEFLATE-compressed blocks so readers stream one
+// block at a time (block header: uvarint compressed length, uvarint raw
+// length, 4-byte little-endian CRC32-C of the compressed payload). The
+// reader treats every declared length as hostile: lengths are bounded
+// before use and buffers grow only as bytes actually arrive, so a forged
+// length prefix cannot make it allocate the declared size, and a
+// truncated or bit-flipped stream is diagnosed by the checksum instead of
+// decoding to plausible garbage. Inside a block, events are
 //
 //	opcode      operands                      meaning
 //	0x01        —                             spawn (child events follow, then task-end)
@@ -153,6 +159,149 @@ func Replay(r io.Reader, cfg detect.Config) (*detect.Report, error) {
 // ReplayBytes is Replay over an in-memory stream.
 func ReplayBytes(b []byte, cfg detect.Config) (*detect.Report, error) {
 	return Replay(bytes.NewReader(b), cfg)
+}
+
+// DefaultMaxReplayWords is the cumulative replayed-words bound
+// ReplayRecover applies when Limits.MaxWords is zero: ~4G words is far
+// beyond any recorded benchmark and small enough that a hostile trace
+// cannot spin a replay for hours.
+const DefaultMaxReplayWords = 1 << 32
+
+// Limits bounds a recovering replay against hostile or damaged traces.
+type Limits struct {
+	// MaxEvents cuts the replay after this many decoded events (0 means
+	// unlimited).
+	MaxEvents uint64
+	// MaxWords cuts the replay once the cumulative replayed access words
+	// exceed it (0 means DefaultMaxReplayWords).
+	MaxWords uint64
+}
+
+// ReplayRecover replays as much of the stream as decodes cleanly and
+// never fails on a damaged trace: where Replay returns a decode error,
+// ReplayRecover stops at the last well-formed event, closes the open
+// tasks (their implicit function-end syncs run as if the program ended
+// there), and returns the report of the replayed prefix with
+// Stats.Trace describing the cut — Truncated, the event count, and the
+// decoder's one-line diagnosis. The same path enforces lim against
+// hostile streams. The returned error is only non-nil when the engine
+// itself could not run (it is independent of stream damage); replay
+// semantic failures (e.g. a get on an uncompleted future) still surface
+// through Report.Err exactly as in Replay.
+func ReplayRecover(r io.Reader, cfg detect.Config, lim Limits) (*detect.Report, error) {
+	if lim.MaxWords == 0 {
+		lim.MaxWords = DefaultMaxReplayWords
+	}
+	var ts detect.TraceStats
+	dec, err := newDecoder(bufio.NewReader(r))
+	if err != nil {
+		// Not even a magic: the report covers the empty prefix.
+		ts = detect.TraceStats{Truncated: true, Reason: err.Error()}
+		dec = nil
+	}
+	eng := detect.NewEngine(cfg)
+	rep := eng.Run(func(t *detect.Task) {
+		if dec != nil {
+			ts = replayRecover(eng, t, dec, lim)
+		}
+	})
+	rep.Stats.Trace = ts
+	return rep, nil
+}
+
+// replayRecover is replayEvents with a recovery policy: decode errors and
+// limit hits truncate the stream instead of failing it, and the open
+// frame stack is unwound so the engine observes a well-formed program.
+func replayRecover(e *detect.Engine, root *detect.Task, dec decoder, lim Limits) detect.TraceStats {
+	type frame struct {
+		t   *detect.Task
+		h   *detect.Fut
+		fut bool
+	}
+	var stack []frame
+	cur := root
+	futs := make(map[uint64]*detect.Fut)
+	var ts detect.TraceStats
+	var words uint64
+	cut := func(reason string) {
+		ts.Truncated = true
+		ts.Reason = reason
+	}
+	for !ts.Truncated {
+		v, err := dec.next()
+		if err != nil {
+			cut(err.Error())
+			break
+		}
+		if v.kind == tevEOF {
+			if len(stack) != 0 {
+				cut(fmt.Sprintf("stream ends with %d unterminated tasks", len(stack)))
+			}
+			break
+		}
+		if lim.MaxEvents != 0 && ts.TruncatedAtEvent >= lim.MaxEvents {
+			cut(fmt.Sprintf("replay limit: more than %d events", lim.MaxEvents))
+			break
+		}
+		switch v.kind {
+		case tevSpawn:
+			child := e.BeginSpawn(cur)
+			stack = append(stack, frame{t: cur})
+			cur = child
+		case tevCreate:
+			child, h := e.BeginFut(cur)
+			futs[v.id] = h
+			stack = append(stack, frame{t: cur, h: h, fut: true})
+			cur = child
+		case tevTaskEnd:
+			if len(stack) == 0 {
+				cut("task end with no open task")
+				continue
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f.fut {
+				e.EndFut(f.t, cur, f.h, nil)
+			} else {
+				e.EndSpawn(f.t, cur)
+			}
+			cur = f.t
+		case tevSync:
+			cur.Sync()
+		case tevGet:
+			cur.GetFut(futs[v.id])
+		case tevRead, tevWrite:
+			words += uint64(v.words)
+			if words > lim.MaxWords {
+				cut(fmt.Sprintf("replay limit: more than %d words accessed", lim.MaxWords))
+				continue
+			}
+			if v.kind == tevRead {
+				cur.ReadRange(v.addr, v.words)
+			} else {
+				cur.WriteRange(v.addr, v.words)
+			}
+		case tevLabel:
+			cur.Label(v.label)
+		}
+		ts.TruncatedAtEvent++
+	}
+	// Unwind the open tasks so the engine sees a well-formed (if shorter)
+	// program; detection over the replayed prefix stays valid.
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.fut {
+			e.EndFut(f.t, cur, f.h, nil)
+		} else {
+			e.EndSpawn(f.t, cur)
+		}
+		cur = f.t
+	}
+	if !ts.Truncated {
+		ts.TruncatedAtEvent = 0 // clean replay: the count is not a cut point
+	}
+	return ts
 }
 
 // replayEvents drives the engine through the decoded event stream

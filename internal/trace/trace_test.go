@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -196,6 +197,7 @@ func encodeTestBlock(t *testing.T, raw []byte) []byte {
 	}
 	out := binary.AppendUvarint(nil, uint64(r.comp.Len()))
 	out = binary.AppendUvarint(out, uint64(len(raw)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(r.comp.Bytes(), castagnoli))
 	return append(out, r.comp.Bytes()...)
 }
 

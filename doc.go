@@ -82,16 +82,25 @@
 // back-pressures.
 //
 // With Config.Consumers > 1 the back-end is a dependency-scheduled
-// consumer pool: a scheduler goroutine groups the batch stream into
-// windows of mutually independent batches — disjoint page footprints,
-// distinct strands, and no conflicting construct mutation between them
-// (sync joins and future gets are barriers; a return conflicts exactly
-// with in-flight batches of its own subtree's strand span) — applies the
-// window's mutations while the pool is quiescent, pins the relation
-// snapshot, and dispatches the whole window across idle consumers.
-// Dependent batches serialize in seal order, so a construct-dense
-// program degenerates to the single-consumer pipeline rather than
-// deadlocking. A sequence-numbered reorder buffer in front of OnRace
+// consumer pool with overlapping windows. Construct mutations are
+// classified by whether they fold the relation: spawn, create and init
+// only add nodes, so they are pin-safe and apply under live snapshot
+// pins (core.Versioned's pin-epoch model), while sync joins and future
+// gets fold reachability state and barrier until the pool is quiescent.
+// The scheduler publishes each sealed batch's relation version as soon
+// as its mutations allow — even while earlier flights are still being
+// checked — and dispatches, in seal order, every published batch whose
+// page footprint, strand and return-span conflicts are disjoint from
+// the outstanding flights. Successive windows therefore overlap:
+// window N+1's version is live and its batches in flight while window N
+// drains (Stats.Event.OverlappedWindows counts versions published over
+// an outstanding flight). Large batches additionally split at
+// page-disjoint cut points into chunk descriptors
+// (Config.StealChunkWords tunes the granule) that idle consumers steal
+// (Stats.Event.StolenChunks); delivery reassembles chunk verdicts in
+// order, so reports stay order-identical. Dependent batches serialize
+// in seal order, so a construct-dense program degenerates to the
+// single-consumer pipeline rather than deadlocking. A sequence-numbered reorder buffer in front of OnRace
 // delivers race reports in seal order. CheckStructured's discipline
 // query no longer drains the pipeline either: it is deferred and
 // answered from the versioned snapshot in stream order (a violation is

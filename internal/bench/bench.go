@@ -262,6 +262,27 @@ func indepPct(rep *futurerd.Report) string {
 	return fmt.Sprintf("%.0f%%", 100*float64(ev.IndependentBatches)/float64(ev.Batches))
 }
 
+// overlapped / stolen render the overlapping scheduler's outcome
+// counters: relation versions published while an earlier window was
+// still in flight, and chunks of a split batch checked away from the
+// consumer that took the batch's head. Both are scheduling outcomes —
+// deterministically zero for serial runs, timing-dependent once a
+// consumer pool races the scheduler — so they are surfaced here but
+// excluded from the benchtrend drift gate for consumer-pool documents.
+func overlapped(rep *futurerd.Report) string {
+	if rep == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%d", rep.Stats.Event.OverlappedWindows)
+}
+
+func stolen(rep *futurerd.Report) string {
+	if rep == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%d", rep.Stats.Event.StolenChunks)
+}
+
 // figure runs one of the paper's overhead tables (Figure 6 for structured
 // variants under MultiBags, Figure 7 for general variants under
 // MultiBags+).
@@ -269,7 +290,7 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 	opts.defaults()
 	t := &Table{
 		Title:  title,
-		Header: []string{"bench", "baseline", "reach", "", "instr", "", "full", "", "owned", "rdshare", "indep"},
+		Header: []string{"bench", "baseline", "reach", "", "instr", "", "full", "", "owned", "rdshare", "indep", "ovlp", "stolen"},
 	}
 	var ms []Measurement
 	var reachR, instrR, fullR []float64
@@ -288,6 +309,7 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 			secs(instr), ratio(instr, base),
 			secs(full), ratio(full, base),
 			ownedPct(fullRep), readSharedPct(fullRep), indepPct(fullRep),
+			overlapped(fullRep), stolen(fullRep),
 		})
 		ms = append(ms,
 			Measurement{Figure: name, Bench: b.Name, Config: "baseline", Seconds: base.Seconds()},
@@ -314,7 +336,9 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 		"owned/rdshare = full-config accesses resolved by the shadow owned-word and",
 		"read-shared epoch fast paths (disjoint; each access counts at most once);",
 		"indep = sealed batches independent of their predecessor (what a multi-",
-		"consumer back-end can check concurrently)")
+		"consumer back-end can check concurrently); ovlp/stolen = windows published",
+		"over an in-flight predecessor and chunks checked by a non-primary consumer",
+		"(scheduling outcomes: zero for serial runs, timing-dependent with a pool)")
 	return t, ms, nil
 }
 

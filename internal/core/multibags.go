@@ -32,9 +32,14 @@ const (
 // a get_fut on the joined child (§4 "Notation": spawn and sync are
 // subsumed by create_fut and get_fut for structured programs).
 type MultiBags struct {
-	st  *StrandTable
-	uf  *ds.UnionFind
-	tag []byte // per function id; authoritative only at set roots
+	st *StrandTable
+	uf *ds.UnionFind
+	// tag is per function id, authoritative only at set roots. Published
+	// (ds.PubSlice) because pin-safe mutations grow and write it while
+	// concurrent Precedes readers hold snapshots; every index a pin-safe
+	// mutation writes belongs to a set no concurrently pinned query can
+	// reach (fresh function, or the scheduler-excluded return subtree).
+	tag ds.PubSlice[byte]
 
 	queries uint64
 	fns     uint64
@@ -43,26 +48,19 @@ type MultiBags struct {
 // NewMultiBags returns a MultiBags instance sharing the engine's strand
 // table.
 func NewMultiBags(st *StrandTable) *MultiBags {
-	return &MultiBags{st: st, uf: ds.NewUnionFind(64), tag: make([]byte, 64)}
+	m := &MultiBags{st: st, uf: ds.NewUnionFind(64)}
+	m.tag.Grow(64)
+	return m
 }
 
 // Name implements Reach.
 func (m *MultiBags) Name() string { return "multibags" }
 
-func (m *MultiBags) ensure(f FnID) {
-	if int(f) >= len(m.tag) {
-		n := 2 * int(f)
-		t := make([]byte, n)
-		copy(t, m.tag)
-		m.tag = t
-	}
-}
-
 // makeSBag creates S_F = {F}.
 func (m *MultiBags) makeSBag(f FnID) {
-	m.ensure(f)
+	m.tag.Grow(int(f) + 1)
 	m.uf.MakeSet(uint32(f))
-	m.tag[f] = tagS
+	m.tag.W()[f] = tagS
 	m.fns++
 }
 
@@ -80,7 +78,7 @@ func (m *MultiBags) CreateFut(r CreateRec) { m.makeSBag(r.FutFn) }
 // crucial difference from SP-Bags.
 func (m *MultiBags) Return(r ReturnRec) {
 	root := m.uf.Find(uint32(r.Fn))
-	m.tag[root] = tagP
+	m.tag.W()[root] = tagP
 }
 
 // SyncJoin implements Reach: joining a spawned child is a get_fut on it.
@@ -91,21 +89,38 @@ func (m *MultiBags) GetFut(r GetRec) { m.join(r.Fn, r.FutFn) }
 
 func (m *MultiBags) join(parent, child FnID) {
 	root := m.uf.Union(uint32(parent), uint32(child))
-	m.tag[root] = tagS
+	m.tag.W()[root] = tagS
 }
 
 // Precedes implements Reach (Figure 1, Query): u ≺ v iff u's function is
-// currently in an S-bag. Safe for concurrent use between constructs: the
-// union-find read uses CAS-compressed FindRO, the tag array is only
-// written at constructs, and the query counter is atomic.
+// currently in an S-bag. Safe for concurrent use even while pin-safe
+// mutations apply: the union-find read uses CAS-compressed FindRO on the
+// published parent snapshot, the tag array is read through a published
+// snapshot, and the query counter is atomic.
 func (m *MultiBags) Precedes(u, _ StrandID) bool {
 	atomic.AddUint64(&m.queries, 1)
 	root := m.uf.FindRO(uint32(m.st.FnOf(u)))
-	return m.tag[root] == tagS
+	return m.tag.RO()[root] == tagS
 }
 
 // ConcurrentPrecedesSafe implements QueryConcurrent.
 func (m *MultiBags) ConcurrentPrecedesSafe() bool { return true }
+
+// PinSafeMut implements PinConcurrent. Spawn and create make fresh
+// singleton S-bags; init is the very first mutation; a return retags the
+// returning function's set root P, which only changes answers for strands
+// of that function's subtree — exactly the strands the scheduler's
+// return-span rule keeps out of concurrently pinned batches. Joins and
+// gets union a P-bag into an S-bag and retag S, which flips answers for
+// strands concurrent queries may legitimately hold, so they remain
+// barriers.
+func (m *MultiBags) PinSafeMut(op MutOp) bool {
+	switch op {
+	case MutInit, MutSpawn, MutCreate, MutReturn:
+		return true
+	}
+	return false
+}
 
 // Stats implements Reach.
 func (m *MultiBags) Stats() ReachStats {

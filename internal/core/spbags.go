@@ -29,15 +29,20 @@ import (
 // get_fut like a sync in the getting function — a deliberate, unsound
 // approximation of running a fork-join detector on a future program.
 type SPBags struct {
-	st  *StrandTable
-	uf  *ds.UnionFind
-	tag []byte // per element; authoritative at roots
+	st *StrandTable
+	uf *ds.UnionFind
+	// tag is per element, authoritative at roots. Published (ds.PubSlice)
+	// because pin-safe mutations grow and write it while concurrent
+	// Precedes readers hold snapshots; every index a pin-safe mutation
+	// writes belongs to a set no concurrently pinned query can reach.
+	tag ds.PubSlice[byte]
 
 	// anchor[f] is the element created when f started; it stays a valid
 	// member of whatever set f's strands currently occupy, so Precedes
-	// can always start its Find there. pElem[f] is any element of f's
-	// current P-bag, or noElem when the P-bag is empty.
-	anchor []uint32
+	// can always start its Find there (published, same regime as tag).
+	// pElem[f] is any element of f's current P-bag, or noElem when the
+	// P-bag is empty — applier-private, never read by queries.
+	anchor ds.PubSlice[uint32]
 	pElem  []uint32
 
 	next    uint32
@@ -56,8 +61,16 @@ func NewSPBags(st *StrandTable) *SPBags {
 func (m *SPBags) Name() string { return "spbags" }
 
 func (m *SPBags) ensureFn(f FnID) {
-	for int(f) >= len(m.anchor) {
-		m.anchor = append(m.anchor, noElem)
+	if int(f) < len(m.pElem) {
+		return
+	}
+	old := m.anchor.Len()
+	m.anchor.Grow(int(f) + 1)
+	w := m.anchor.W()
+	for i := old; i < len(w); i++ {
+		w[i] = noElem
+	}
+	for int(f) >= len(m.pElem) {
 		m.pElem = append(m.pElem, noElem)
 	}
 }
@@ -66,18 +79,14 @@ func (m *SPBags) newElem(t byte) uint32 {
 	e := m.next
 	m.next++
 	m.uf.MakeSet(e)
-	if int(e) >= len(m.tag) {
-		nt := make([]byte, 2*(int(e)+1))
-		copy(nt, m.tag)
-		m.tag = nt
-	}
-	m.tag[e] = t
+	m.tag.Grow(int(e) + 1)
+	m.tag.W()[e] = t
 	return e
 }
 
 func (m *SPBags) enterFn(f FnID) {
 	m.ensureFn(f)
-	m.anchor[f] = m.newElem(tagS)
+	m.anchor.W()[f] = m.newElem(tagS)
 	m.pElem[f] = noElem
 	m.fns++
 }
@@ -92,21 +101,27 @@ func (m *SPBags) Spawn(r SpawnRec) { m.enterFn(r.ChildFn) }
 func (m *SPBags) CreateFut(r CreateRec) { m.enterFn(r.FutFn) }
 
 // Return implements Reach: P_parent = Union(P_parent, S_child).
+//
+// The child's root is tagged P *before* any union so the write is ordered
+// before the union's atomic parent store: a concurrently pinned reader
+// (whose strands the scheduler's return-span rule keeps outside the
+// child's subtree) can only reach the child's root after observing that
+// store, so it observes the tag too. The parent's existing P-bag root is
+// never re-tagged — it is already P by the pElem invariant, and a
+// same-value rewrite would still race with concurrent readers.
 func (m *SPBags) Return(r ReturnRec) {
 	if r.ParentFn == NoFn {
 		return // main returning; nothing joins it
 	}
 	m.ensureFn(r.ParentFn)
 	m.ensureFn(r.Fn)
-	child := m.anchor[r.Fn]
+	child := m.anchor.W()[r.Fn]
+	croot := m.uf.Find(child)
+	m.tag.W()[croot] = tagP
 	if p := m.pElem[r.ParentFn]; p == noElem {
-		root := m.uf.Find(child)
-		m.tag[root] = tagP
 		m.pElem[r.ParentFn] = child
 	} else {
-		root := m.uf.Union(p, child)
-		m.tag[root] = tagP
-		m.pElem[r.ParentFn] = root
+		m.pElem[r.ParentFn] = m.uf.Union(p, croot)
 	}
 }
 
@@ -124,23 +139,38 @@ func (m *SPBags) foldP(f FnID) {
 	if p == noElem {
 		return
 	}
-	root := m.uf.Union(m.anchor[f], p)
-	m.tag[root] = tagS
+	root := m.uf.Union(m.anchor.W()[f], p)
+	m.tag.W()[root] = tagS
 	m.pElem[f] = noElem
 }
 
-// Precedes implements Reach. Safe for concurrent use between constructs
-// (CAS-compressed find, atomic counter, tag/anchor arrays written only at
-// constructs).
+// Precedes implements Reach. Safe for concurrent use even while pin-safe
+// mutations apply (CAS-compressed find on the published parent snapshot,
+// atomic counter, tag/anchor read through published snapshots).
 func (m *SPBags) Precedes(u, _ StrandID) bool {
 	atomic.AddUint64(&m.queries, 1)
 	f := m.st.FnOf(u)
-	root := m.uf.FindRO(m.anchor[f])
-	return m.tag[root] == tagS
+	root := m.uf.FindRO(m.anchor.RO()[f])
+	return m.tag.RO()[root] == tagS
 }
 
 // ConcurrentPrecedesSafe implements QueryConcurrent.
 func (m *SPBags) ConcurrentPrecedesSafe() bool { return true }
+
+// PinSafeMut implements PinConcurrent. Init, spawn and create only make
+// fresh bags no in-flight query can name; a return folds the child's
+// subtree bag into the parent's P-bag, which is safe because the
+// scheduler's return-span rule keeps every strand of that subtree out of
+// concurrently pinned batches. Joins and gets fold the P-bag into the
+// S-bag — flipping answers for strands concurrent queries may hold — so
+// they wait for pin drain.
+func (m *SPBags) PinSafeMut(op MutOp) bool {
+	switch op {
+	case MutInit, MutSpawn, MutCreate, MutReturn:
+		return true
+	}
+	return false
+}
 
 // Stats implements Reach.
 func (m *SPBags) Stats() ReachStats {

@@ -142,6 +142,27 @@ type QueryConcurrent interface {
 	ConcurrentPrecedesSafe() bool
 }
 
+// PinConcurrent is the optional capability interface for Reach
+// implementations that can additionally apply *fold-free* construct
+// mutations while concurrent Precedes calls are in flight — the lever
+// behind the overlapping-window scheduler. A mutation op qualifies when
+// applying it can only add fresh dag structure (new strands, new
+// functions, new singleton sets) or move structure in ways no concurrent
+// query can observe: it must never fold two sets an in-flight query could
+// distinguish, nor rewrite an element a query could read mid-update.
+// Implementations back this with published-slice growth (ds.PubSlice) and
+// atomic union-find parent access, so readers on a stale snapshot see a
+// consistent older version of the relation.
+//
+// A Reach that does not implement PinConcurrent gets the conservative
+// behavior: every mutation is a scheduling barrier, which degrades to the
+// strict quiescent-epoch pipeline.
+type PinConcurrent interface {
+	// PinSafeMut reports whether mutations of the given op kind may be
+	// applied while snapshot pins are held.
+	PinSafeMut(op MutOp) bool
+}
+
 // ReachStats aggregates data-structure traffic for reporting.
 type ReachStats struct {
 	Finds         uint64 // union-find Find operations

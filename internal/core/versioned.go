@@ -21,16 +21,23 @@
 // block, so a construct-dense stretch with no memory traffic still makes
 // progress.
 //
-// # Concurrent snapshot reads
+// # Concurrent snapshot reads and pin-safe mutations
 //
 // With a multi-consumer back-end several goroutines query the underlying
-// Reach at once, all under one pinned version: the scheduler applies
-// mutations up to a window's version, calls Pin, dispatches the window's
-// batches to the consumer pool, and calls Unpin only after every consumer
-// is idle again. While a pin is held the relation is frozen — ApplyTo
-// refuses (panics) to advance it — so the concurrent queries are plain
-// snapshot reads, exactly the between-constructs read-only regime the
-// QueryConcurrent capability already guarantees is safe.
+// Reach at once, each under a pinned version: the scheduler applies
+// mutations up to a batch's version, calls Pin, dispatches the batch to
+// the consumer pool, and calls Unpin when its consumers finish. While a
+// pin is held the relation may still advance — but only by mutations the
+// recorder stamped PinSafe (fold-free constructs: spawn, create, init,
+// and single-strand returns, which only add fresh dag structure and never
+// fold existing relations together). The Reach advertises which operation
+// kinds qualify through the PinConcurrent capability; applying anything
+// else under a live pin is a detector bug and ApplyTo panics. A pinned
+// reader therefore sees either its own version or a fold-free extension
+// of it, and both answer every query the reader is entitled to ask
+// identically: the strands a pinned batch can name were all published at
+// or before its version, and fold-free mutations never change the
+// precedence between already-published strands.
 package core
 
 import (
@@ -63,6 +70,11 @@ type Mut struct {
 	Return ReturnRec
 	Join   JoinRec
 	Get    GetRec
+
+	// PinSafe marks a fold-free mutation the recorder has proven safe to
+	// apply while snapshot pins are live (see the PinConcurrent capability).
+	// The zero value is the conservative "must wait for pin drain".
+	PinSafe bool
 }
 
 // ApplyTo replays the mutation into r.
@@ -191,16 +203,23 @@ func (v *Versioned) ApplyTo(version uint64) {
 		// no-op instead of tripping the pin assertion below.
 		return
 	}
-	if v.pins.Load() != 0 {
-		// Advancing the relation while a consumer reads it at the pinned
-		// version would hand that consumer a snapshot newer than the one
-		// its batch executed under — a detector bug, not a recoverable
-		// condition.
-		panic("core: Versioned.ApplyTo while a snapshot pin is held")
-	}
+	// Snapshot the pin state once: pins only go 0→n while the scheduler
+	// (the sole ApplyTo caller) is between calls, so a zero load here means
+	// no reader can appear mid-loop, and a non-zero load conservatively
+	// restricts the whole call to pin-safe mutations.
+	pinned := v.pins.Load() != 0
 	v.mu.Lock()
 	for v.applied < version && v.head < len(v.pending) {
 		m := &v.pending[v.head]
+		if pinned && !m.PinSafe {
+			// Folding this mutation (a join or get, or any op the Reach did
+			// not advertise as pin-concurrent) while a consumer reads the
+			// relation at a pinned version would collapse relations that
+			// reader's snapshot still distinguishes — a detector bug, not a
+			// recoverable condition. The scheduler must drain pins first.
+			v.mu.Unlock()
+			panic("core: Versioned.ApplyTo of a folding mutation while a snapshot pin is held")
+		}
 		v.head++
 		v.applied++
 		// Apply under the lock: the recorder never touches the Reach, and
@@ -241,8 +260,10 @@ func (v *Versioned) Failed() bool {
 
 // Pin marks the current applied version as shared-read-pinned: any number
 // of goroutines may query the underlying Reach concurrently (through its
-// QueryConcurrent-safe read path) until the matching Unpin, and ApplyTo
-// panics if asked to advance the relation in between. Pins nest.
+// QueryConcurrent-safe read path) until the matching Unpin. While any pin
+// is held, ApplyTo only advances the relation through PinSafe (fold-free)
+// mutations and panics if asked to fold; the scheduler drains pins before
+// applying joins and gets. Pins nest.
 func (v *Versioned) Pin() {
 	v.pins.Add(1)
 }

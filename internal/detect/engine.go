@@ -94,10 +94,21 @@ type Engine struct {
 	// batches (statBarrier/statSpans, consumed by noteBatchStats). A
 	// barrier is a mutation that can change existing query answers (sync
 	// join, future get); a span names the subtree a return retags.
-	depBarrier  bool
-	depSpans    []event.StrandSpan
-	statBarrier bool
-	statSpans   []event.StrandSpan
+	// depApplyBarrier additionally accumulates whether any mutation since
+	// the last item is not pin-safe — the scheduler must drain snapshot
+	// pins before advancing the relation past it.
+	depBarrier      bool
+	depApplyBarrier bool
+	depSpans        []event.StrandSpan
+	statBarrier     bool
+	statSpans       []event.StrandSpan
+
+	// pinSafe caches the algorithm's core.PinConcurrent mask per mutation
+	// op; all-false (every mutation an apply barrier) when the algorithm
+	// does not advertise the capability. stealWords is the effective
+	// chunk-steal granule (Config.StealChunkWords or the default).
+	pinSafe    [6]bool
+	stealWords int
 
 	// Batch-pipeline stats (Stats.Event), counted at seal time on the
 	// engine goroutine in every pipeline mode, so they are deterministic
@@ -272,12 +283,25 @@ func (e *Engine) initPipeline(cfg Config) {
 	if e.consumers > 1 && !e.consumersEligible(cfg) {
 		e.consumers = 1
 	}
+	e.stealWords = cfg.StealChunkWords
+	if e.stealWords <= 0 {
+		e.stealWords = 4 << shadow.PageBits
+	}
 	if cfg.Workers > 1 || e.consumers > 1 {
 		if e.detecting {
 			e.vr = core.NewVersioned(e.reach, cfg.ConstructAhead)
 			e.nudgeAt = e.vr.Window() / 2
 			if e.nudgeAt < 1 {
 				e.nudgeAt = 1
+			}
+			// The pin-safe mask decides which recorded mutations the
+			// overlapping-window scheduler may apply under live snapshot
+			// pins. Asserted on the final (possibly wrapped) reach, so
+			// Verify and the oracle conservatively barrier everything.
+			if pc, ok := e.reach.(core.PinConcurrent); ok {
+				for op := core.MutInit; op <= core.MutGet; op++ {
+					e.pinSafe[op] = pc.PinSafeMut(op)
+				}
 			}
 		}
 		if e.consumers > 1 {
@@ -341,6 +365,9 @@ func (e *Engine) classifyMut(m *core.Mut) {
 	if e.batch == nil {
 		return
 	}
+	if !m.PinSafe {
+		e.depApplyBarrier = true
+	}
 	switch m.Op {
 	case core.MutJoin, core.MutGet:
 		e.depBarrier, e.statBarrier = true, true
@@ -362,8 +389,10 @@ func (e *Engine) classifyMut(m *core.Mut) {
 // outgoing batch and resets the accumulator. Engine goroutine only.
 func (e *Engine) stampDep(b *event.Batch) {
 	b.Barrier = e.depBarrier
+	b.ApplyBarrier = e.depApplyBarrier
 	b.RetSpans = append(b.RetSpans[:0], e.depSpans...)
 	e.depBarrier = false
+	e.depApplyBarrier = false
 	e.depSpans = e.depSpans[:0]
 }
 
@@ -407,6 +436,7 @@ func (e *Engine) noteBatchStats(b *event.Batch) {
 // the mutation's dependency class is accumulated for the scheduler and
 // the batch stats.
 func (e *Engine) mutate(m core.Mut) {
+	m.PinSafe = e.pinSafe[m.Op]
 	if e.vr == nil {
 		e.classifyMut(&m)
 		m.ApplyTo(e.reach)
@@ -478,6 +508,13 @@ func (e *Engine) Run(root func(*Task)) *Report {
 func (e *Engine) report() *Report {
 	e.seal()    // flush any still-open batch
 	e.be.stop() // quiesce the detection back-end (nil-safe)
+	if e.batch != nil {
+		// Return the (now necessarily empty) open batch to the pool so a
+		// run checks exactly as many batches back in as it took out —
+		// event.Live() deltas are the leak test's oracle.
+		event.Recycle(e.batch)
+		e.batch = nil
+	}
 	if e.err == nil {
 		// A pipeline failure the engine never tripped over (it poisoned
 		// after the last hook ran) still fails the run closed.
@@ -525,6 +562,13 @@ func (e *Engine) report() *Report {
 	if e.hist != nil {
 		rep.Stats.Shadow = e.hist.Stats()
 		rep.Stats.Event = e.evStats
+		if e.be != nil {
+			// Scheduling-outcome counters live on the pipeline (they are
+			// counted where the decisions happen) and are merged here;
+			// unlike the rest of Stats.Event they are timing-dependent.
+			rep.Stats.Event.StolenChunks = e.be.stolen.Load()
+			rep.Stats.Event.OverlappedWindows = e.be.overlapped.Load()
+		}
 	}
 	return rep
 }

@@ -56,7 +56,9 @@ func consumersProg(tk *Task) {
 // protocol traffic, both epoch fast paths, memo hits, reachability
 // queries, batch-pipeline counters — must deep-equal the serial run.
 // Only the pool's plumbing counters (fan-out counts, per-worker
-// page-cache locality) may differ, as in the Workers equivalence test.
+// page-cache locality) and the scheduler's timing-dependent outcome
+// counters (stolen chunks, overlapped windows) may differ, as in the
+// Workers equivalence test.
 func TestConsumersEquivalence(t *testing.T) {
 	for _, mode := range []Mode{ModeSPBags, ModeMultiBags, ModeMultiBagsPlus} {
 		serial := NewEngine(Config{Mode: mode, Mem: MemFull, MaxRaces: 1 << 20}).Run(consumersProg)
@@ -89,6 +91,8 @@ func TestConsumersEquivalence(t *testing.T) {
 				ss, as := serial.Stats, rep.Stats
 				ss.Shadow.ParRanges, ss.Shadow.ParChunks, ss.Shadow.PageCacheHits = 0, 0, 0
 				as.Shadow.ParRanges, as.Shadow.ParChunks, as.Shadow.PageCacheHits = 0, 0, 0
+				ss.Event.StolenChunks, ss.Event.OverlappedWindows = 0, 0
+				as.Event.StolenChunks, as.Event.OverlappedWindows = 0, 0
 				if !reflect.DeepEqual(ss, as) {
 					t.Fatalf("%v c=%d w=%d: stats diverge\nserial %+v\ngot    %+v",
 						mode, consumers, workers, ss, as)
@@ -195,6 +199,8 @@ func TestConsumersDependentDegeneratesToSerial(t *testing.T) {
 		ss, as := serial.Stats, rep.Stats
 		ss.Shadow.ParRanges, ss.Shadow.ParChunks, ss.Shadow.PageCacheHits = 0, 0, 0
 		as.Shadow.ParRanges, as.Shadow.ParChunks, as.Shadow.PageCacheHits = 0, 0, 0
+		ss.Event.StolenChunks, ss.Event.OverlappedWindows = 0, 0
+		as.Event.StolenChunks, as.Event.OverlappedWindows = 0, 0
 		if !reflect.DeepEqual(serial.Races, rep.Races) || !reflect.DeepEqual(ss, as) {
 			t.Fatalf("consumers=%d diverges from serial:\nserial %+v\ngot    %+v",
 				consumers, ss, as)

@@ -117,6 +117,15 @@ type Config struct {
 	// Consumers across batches; they compose.
 	Consumers int
 
+	// StealChunkWords overrides the words-per-chunk granule at which the
+	// multi-consumer scheduler splits one large batch into
+	// footprint-disjoint chunks that idle consumers steal (0 means the
+	// default of 4 shadow pages). A batch only splits when its prefix and
+	// suffix touch strictly separated page ranges, so chunks of one batch
+	// never share a shadow word; batches below twice the granule are never
+	// split. Exposed for the steal-path tests and the chunk-size sweep.
+	StealChunkWords int
+
 	// BatchOps overrides the op cap of one access-event batch (0 means
 	// event.MaxOps): a batch that reaches the cap flushes mid-window so
 	// pipeline memory stays bounded on non-coalescing access storms.
@@ -247,7 +256,10 @@ type Stats struct {
 	// deterministic pairwise independent/serialized classification the
 	// multi-consumer scheduler's window rules are built from, and
 	// footprint summary sizes. Counted at seal time on the engine
-	// goroutine, so identical across Workers/Consumers configurations.
+	// goroutine, so identical across Workers/Consumers configurations —
+	// except Event.StolenChunks and Event.OverlappedWindows, which count
+	// scheduling outcomes (chunks checked by a stealing consumer, relation
+	// versions published over in-flight batches) and are timing-dependent.
 	Event event.Stats
 
 	// Trace describes how a trace replay ended; meaningful only for

@@ -6,39 +6,44 @@
 // pending construct mutations and checks it, in seal order, which
 // trivially preserves the serial report.
 //
-// With Config.Consumers > 1 the pipeline becomes a dependency-scheduled
-// consumer pool driven by a scheduler goroutine. The scheduler groups the
-// item stream into windows — maximal runs of mutually independent batches
-// — and runs each window as one epoch:
+// With Config.Consumers > 1 the pipeline is an overlapping-window
+// scheduler over a work-stealing consumer pool. The scheduler keeps a
+// FIFO of admitted items and advances two cursors over it:
 //
-//	drain → apply construct mutations up to the window's version →
-//	pin the relation snapshot → dispatch every batch in the window
-//	across the idle consumers → unpin when the last completes.
+//   - Publish, in item order: an item's relation version is applied as
+//     soon as its recorded mutations tolerate everything still in
+//     flight. Fold-free mutations (spawn, create — and whatever else the
+//     algorithm's core.PinConcurrent mask declares pin-safe, because
+//     they only introduce fresh elements) apply under live snapshot
+//     pins, so the next window's version publishes while the previous
+//     window's batches are still being checked; that is the overlap the
+//     strict epoch barrier used to forbid, counted in
+//     Stats.Event.OverlappedWindows. Folding mutations (sync join,
+//     future get — the ones that can change existing query answers)
+//     mark the item a barrier: it publishes only when the pipeline is
+//     quiescent, exactly the old epoch boundary. A return retags its
+//     own subtree, so an item carrying one waits until no in-flight or
+//     published-but-undispatched batch holds a strand of the returned
+//     span (single-strand spans are already filtered by the engine: a
+//     batch never queries its own strand).
+//   - Dispatch, strictly in item order: the oldest published batch
+//     becomes a "flight" as soon as its strand differs from and (in
+//     MemFull) its page footprint is disjoint with every outstanding
+//     flight, and it pins the relation snapshot until its last chunk
+//     completes. In-order dispatch is what keeps the old window
+//     arguments sound under overlap: a flight sealed before a return
+//     can never be dispatched after it.
 //
-// A candidate item may join the window being accumulated only if, against
-// every batch already in it:
-//
-//   - no barrier mutation (sync join or future get — the mutations that
-//     fold previously-parallel bags together and so can change existing
-//     query answers) was recorded since the previous item;
-//   - no return mutation recorded since the previous item has a subtree
-//     strand span containing the earlier batch's strand (a return retags
-//     exactly its own subtree's bags; single-strand subtrees are already
-//     filtered out by the engine because a batch never queries its own
-//     strand);
-//   - the strands differ (same-strand batches share shadow words and must
-//     install in order);
-//   - the page footprints are disjoint (MemFull), so concurrent checks
-//     touch disjoint shadow words.
-//
-// Those rules are exactly what makes checking a batch under the window's
-// (later) relation version indistinguishable from checking it under its
-// own: spawn/create mutations only introduce fresh elements, and the
-// conflicting mutation classes force a new window. Verdicts, counters and
-// — through the sequence-numbered reorder buffer in front of race
-// delivery — the report stream itself are byte-identical to a serial run;
-// TestConsumersEquivalence pins that across algorithms, consumer counts
-// and worker widths.
+// A large flight is split into footprint-disjoint chunks (event.SplitOps,
+// granule Config.StealChunkWords) that are fed one by one to the shared
+// work channel, so an idle consumer steals the tail of a batch another
+// consumer is still checking (Stats.Event.StolenChunks); each chunk
+// claims only its own page range, keeping the shadow install audit
+// exact. Flights complete out of order but deliver their race events in
+// dispatch order (and within a flight in chunk order = op order), so the
+// report stream stays byte-identical to a serial run; verdicts, counters
+// and report order are pinned by TestConsumersEquivalence across
+// algorithms, consumer counts and worker widths.
 //
 // # Fail-closed operation
 //
@@ -46,15 +51,17 @@
 // shell: a panic — a detector bug, a shadow install-audit violation, or
 // an injected fault — is converted into a structured PipelineError that
 // poisons the engine (subsequent hooks abort the run with it) and flips
-// the pipeline into drain mode, in which remaining items are discarded,
-// in-flight consumers are joined, and stop() still returns. Nothing
-// blocks forever: the engine's submit path selects against the failure
-// latch, the versioned mutation log is failed so Record never waits on a
-// dead applier, and an optional watchdog (Config.StallTimeout) converts
-// a silent stall into the same structured teardown. The fault matrix in
-// fault_test.go drives every injected fault class through this machinery
-// and asserts the run either matches serial verdicts exactly or returns
-// one PipelineError with no goroutine left behind.
+// the pipeline into drain mode: pending items are discarded, chunks not
+// yet in a consumer's hands are unqueued so their flights (and pooled
+// batches) are reclaimed as soon as the chunks that are come back, and
+// intake drains until the engine closes it. Nothing blocks forever: the
+// engine's submit path selects against the failure latch, the versioned
+// mutation log is failed so Record never waits on a dead applier, and an
+// optional watchdog (Config.StallTimeout) converts a silent stall into
+// the same structured teardown. The fault matrix in fault_test.go drives
+// every injected fault class through this machinery and asserts the run
+// either matches serial verdicts exactly or returns one PipelineError
+// with no goroutine left behind.
 package detect
 
 import (
@@ -88,8 +95,14 @@ type workItem struct {
 	disc *discCheck
 }
 
+// maxPending caps how many admitted items the scheduler holds before it
+// stops taking intake (the items channel buffer then back-pressures the
+// engine). Publish and dispatch always make progress on a quiescent
+// pipeline, so the cap bounds memory without risking deadlock.
+const maxPending = 64
+
 // pipeline is the asynchronous detection back-end: the single-consumer
-// stream or the dependency-scheduled consumer pool, per Config.Consumers.
+// stream or the overlapping-window consumer pool, per Config.Consumers.
 type pipeline struct {
 	e         *Engine
 	consumers int
@@ -105,24 +118,32 @@ type pipeline struct {
 	failOnce sync.Once
 
 	// Per-stage heartbeats (seal-order item counts): hbSealed advances
-	// when the engine submits an item, hbDispatched when a checking
-	// goroutine picks one up, hbChecked when an item is fully processed
+	// when the engine submits an item, hbDispatched when a flight's first
+	// chunk reaches a consumer, hbChecked when an item is fully processed
 	// (checked, answered, or discarded on the drain path). hbSealed ==
 	// hbChecked means the pipeline is quiescent. The watchdog fires when
-	// none of these (nor the window gauge) moves for Config.StallTimeout
+	// none of these (nor the flight gauge) moves for Config.StallTimeout
 	// while work is outstanding.
 	hbSealed     atomic.Uint64
 	hbDispatched atomic.Uint64
 	hbChecked    atomic.Uint64
-	hbActive     atomic.Int64 // batches dispatched, not yet completed
+	hbActive     atomic.Int64 // flights dispatched, not yet completed
 
-	// hbMaxWindow is the largest batch window dispatched in one epoch —
-	// a diagnostic (window formation is timing-dependent), deliberately
-	// not in Stats.
+	// hbMaxWindow is the peak number of concurrently-outstanding flights
+	// — a diagnostic (overlap is timing-dependent), deliberately not in
+	// Stats.
 	hbMaxWindow atomic.Int64
 
+	// Scheduling-outcome counters, merged into Stats.Event by report():
+	// chunks checked by a consumer other than the one that took the
+	// flight's first chunk, and relation versions published while earlier
+	// flights were still outstanding.
+	stolen     atomic.Uint64
+	overlapped atomic.Uint64
+
 	// testHook, when non-nil, runs on the checking goroutine before each
-	// non-empty batch is checked; pipeline tests use it to hold batches in
+	// chunk of a non-empty batch is checked (once per batch when the
+	// batch was not split); pipeline tests use it to hold batches in
 	// flight and to observe concurrent dispatch.
 	testHook func(*event.Batch)
 }
@@ -298,27 +319,43 @@ func (p *pipeline) watchdog(timeout time.Duration) {
 	}
 }
 
-// consResult is one checked batch coming back from a consumer.
+// chunkWork is one dispatched chunk of a flight: the ops [lo, hi) of
+// batch b, claiming only shadow pages in [minPage, maxPage]. Unsplit
+// batches travel as a single chunk covering everything.
+type chunkWork struct {
+	b       *event.Batch
+	seq     uint64
+	idx     int
+	lo, hi  int
+	minPage uint64
+	maxPage uint64
+}
+
+// consResult is one checked chunk coming back from a consumer.
 type consResult struct {
-	seq    uint64
-	strand core.StrandID
-	events []shadow.RaceEvent // copied; nil when the batch was race-free
-	err    *PipelineError     // the batch's check panicked; events invalid
+	seq      uint64
+	idx      int
+	consumer int
+	events   []shadow.RaceEvent // copied; nil when the chunk was race-free
+	err      *PipelineError     // the chunk's check panicked; events invalid
 }
 
 // consume is one consumer goroutine of the multi-consumer pool: it checks
-// dispatched batches on its private shadow view and reports buffered race
-// events back for in-order delivery. A panic while checking — injected,
-// an audit violation, or a detector bug — is recovered into the result's
-// err so the scheduler's accounting never loses the batch; the consumer
-// itself keeps serving until work closes, so the join is unconditional.
-func (p *pipeline) consume(id int, work <-chan *event.Batch, results chan<- consResult, wg *sync.WaitGroup) {
+// dispatched chunks on its private shadow view and reports buffered race
+// events back for in-order delivery. The batch stays owned by the
+// scheduler (other chunks of it may be in other consumers' hands), so the
+// consumer never recycles. A panic while checking — injected, an audit
+// violation, or a detector bug — is recovered into the result's err so
+// the scheduler's accounting never loses the chunk; the consumer itself
+// keeps serving until work closes, so the join is unconditional.
+func (p *pipeline) consume(id int, work <-chan chunkWork, results chan<- consResult, wg *sync.WaitGroup) {
 	defer wg.Done()
 	e := p.e
 	view := shadow.NewView(e.hist, id)
 	var claims []shadow.PageClaim
-	for b := range work {
-		res := consResult{seq: b.Seq, strand: b.Strand}
+	for cw := range work {
+		b := cw.b
+		res := consResult{seq: cw.seq, idx: cw.idx, consumer: id}
 		if pe := p.guard("consumer", b, func() {
 			if p.testHook != nil {
 				p.testHook(b)
@@ -326,23 +363,38 @@ func (p *pipeline) consume(id int, work <-chan *event.Batch, results chan<- cons
 			if e.faults.Fire(faultinject.ConsumerPanic) {
 				panic(faultinject.Panic{Point: faultinject.ConsumerPanic})
 			}
+			if cw.idx > 0 && e.faults.Fire(faultinject.StealPanic) {
+				panic(faultinject.Panic{Point: faultinject.StealPanic})
+			}
 			e.faults.Delay(faultinject.ConsumerStall)
 			ctx := e.sctx // prototype copy; race sinks unused (events buffer)
 			ctx.Gen = b.Gen
 			view.Begin(&ctx, b.Strand)
 			full := e.mem == MemFull
 			if full {
-				// The install audit asserts concurrent batches touch disjoint
-				// shadow pages. Instrumentation-only batches never touch shadow
-				// state (TouchRange is a pure checksum), so the scheduler
-				// legitimately overlaps them and they claim nothing.
+				// The install audit asserts concurrent checks touch disjoint
+				// shadow pages, so each chunk claims the batch footprint
+				// clipped to its own page range — chunk ranges are disjoint
+				// by construction (event.SplitOps). Instrumentation-only
+				// batches never touch shadow state (TouchRange is a pure
+				// checksum), so the scheduler legitimately overlaps them and
+				// they claim nothing.
 				claims = claims[:0]
 				for _, sp := range b.FP.Spans {
-					claims = append(claims, shadow.PageClaim{Lo: sp.Lo, Hi: sp.Hi})
+					lo, hi := sp.Lo, sp.Hi
+					if lo < cw.minPage {
+						lo = cw.minPage
+					}
+					if hi > cw.maxPage {
+						hi = cw.maxPage
+					}
+					if lo <= hi {
+						claims = append(claims, shadow.PageClaim{Lo: lo, Hi: hi})
+					}
 				}
 				view.Claim(claims)
 			}
-			for i := range b.Ops {
+			for i := cw.lo; i < cw.hi; i++ {
 				op := &b.Ops[i]
 				switch {
 				case !full:
@@ -360,7 +412,7 @@ func (p *pipeline) consume(id int, work <-chan *event.Batch, results chan<- cons
 		}); pe != nil {
 			res.err = pe
 			res.events = nil
-			// The view may have died mid-batch with counters unfolded and
+			// The view may have died mid-chunk with counters unfolded and
 			// audit claims held; End is recover-shelled because the view's
 			// state is arbitrary at this point.
 			func() {
@@ -368,45 +420,55 @@ func (p *pipeline) consume(id int, work <-chan *event.Batch, results chan<- cons
 				view.End()
 			}()
 		}
-		event.Recycle(b)
 		results <- res
 	}
 }
 
-// compatible reports whether item it may join the window being
-// accumulated: checked concurrently with every batch already in win and
-// under the window's (later) relation version. See the package comment
-// for why each rule is exactly what verdict identity needs.
-func (p *pipeline) compatible(it workItem, win []workItem) bool {
-	b := it.b
-	if b.Barrier && len(win) > 0 {
-		return false
-	}
-	full := p.e.mem == MemFull
-	for i := range win {
-		wb := win[i].b
-		if b.Strand != core.NoStrand && b.Strand == wb.Strand {
-			return false
+// flight is one dispatched batch: its chunk plan, the per-chunk results
+// gathered so far, and (via the scheduler) one relation snapshot pin held
+// from dispatch to completion. Flights complete out of order; delivery is
+// in dispatch order, and within a flight in chunk order.
+type flight struct {
+	b      *event.Batch
+	seq    uint64
+	strand core.StrandID
+	chunks []event.OpChunk
+	sent   int                  // chunks handed to consumers
+	want   int                  // chunk results still expected (drain mode cuts unqueued chunks)
+	got    int                  // chunk results received
+	done   bool                 // completed: batch recycled, pin released
+	events [][]shadow.RaceEvent // per chunk index
+	cons   []int                // consumer id per received chunk
+	recv   []bool               // chunk result received
+}
+
+// splitBatch plans a flight's chunks: one chunk covering everything,
+// unless the pool could steal (consumers > 1), the batch is at least two
+// granules of work, and its op stream actually separates into disjoint
+// page ranges.
+func (p *pipeline) splitBatch(b *event.Batch) []event.OpChunk {
+	if p.consumers > 1 {
+		words := 0
+		for i := range b.Ops {
+			words += b.Ops[i].Words
 		}
-		if full && b.FP.Overlaps(&wb.FP) {
-			return false
-		}
-		for _, sp := range b.RetSpans {
-			if sp.Contains(wb.Strand) {
-				return false
+		if words >= 2*p.e.stealWords {
+			if chunks := event.SplitOps(b.Ops, p.e.stealWords, shadow.PageBits); len(chunks) > 1 {
+				return chunks
 			}
 		}
 	}
-	return true
+	return []event.OpChunk{{Lo: 0, Hi: len(b.Ops), MinPage: 0, MaxPage: ^uint64(0)}}
 }
 
 // schedule is the multi-consumer scheduler goroutine: it starts the
-// consumer pool, runs the window loop inside a recover shell, and joins
-// the consumers unconditionally — draining any in-flight results while it
-// waits, so a consumer's send can never deadlock the teardown.
+// consumer pool, runs the publish/dispatch loop inside a recover shell,
+// and joins the consumers unconditionally — draining any in-flight
+// results while it waits, so a consumer's send can never deadlock the
+// teardown.
 func (p *pipeline) schedule() {
 	defer close(p.schedDone)
-	work := make(chan *event.Batch)
+	work := make(chan chunkWork)
 	results := make(chan consResult, p.consumers)
 	var consumers sync.WaitGroup
 	for i := 0; i < p.consumers; i++ {
@@ -433,176 +495,245 @@ func (p *pipeline) schedule() {
 	}
 }
 
-// scheduleLoop accumulates the next window while the active one executes,
-// flushes windows as epochs, and delivers race reports through a
-// sequence-ordered reorder buffer. On failure — a consumer's returned
-// error, its own bail, or the external latch — it discards everything not
-// in flight, keeps accounting for what is, and drains intake until the
-// engine closes it.
-func (p *pipeline) scheduleLoop(work chan<- *event.Batch, results <-chan consResult) {
+// scheduleLoop runs the overlapping-window scheduler: publish versions as
+// early as their mutations allow, dispatch published batches as flights
+// the moment they conflict with nothing outstanding, feed flight chunks
+// to the stealing pool, and deliver completed flights' race events in
+// dispatch order. On failure — a consumer's returned error, its own
+// bail, or the external latch — it discards everything not in a
+// consumer's hands, keeps accounting for what is, and drains intake until
+// the engine closes it.
+func (p *pipeline) scheduleLoop(work chan<- chunkWork, results <-chan consResult) {
 	e := p.e
+	full := e.mem == MemFull
 
 	var (
-		win         []workItem // window being accumulated
-		hold        *workItem  // first item incompatible with win
-		closed      bool       // items channel closed
-		active      int        // dispatched, not yet completed
-		pinned      bool       // relation snapshot pin held
-		failed      bool       // drain mode: discard instead of dispatch
-		dispatch    []*event.Batch
-		dispatched  int
-		slots       []*consResult  // reorder buffer for the active window
-		slotOf      map[uint64]int // seq → slot index
-		nextDeliver int            // first undelivered slot
+		pending  []workItem // admitted items, seal order
+		pub      int        // pending[:pub] published (version applied), awaiting dispatch
+		inflight []*flight  // dispatched, not yet delivered; dispatch order
+		flightOf = make(map[uint64]*flight)
+		sendq    []chunkWork // chunks awaiting a consumer, dispatch order
+		active   int         // flights with outstanding chunk results
+		applied  uint64      // last version passed to ApplyTo
+		closed   bool        // items channel closed
+		failed   bool        // drain mode
 	)
-	slotOf = make(map[uint64]int)
 
-	// enterFailed flips the loop into drain mode: everything not in the
-	// consumers' hands is recycled (with its active/checked accounting
-	// settled), nothing further is dispatched, and intake drains until
-	// the engine closes it. Idempotent.
+	deliver := func(fl *flight) {
+		for idx := range fl.events {
+			for _, ev := range fl.events[idx] {
+				e.reportRace(ev.Addr, ev.Racer.Prev, fl.strand, ev.Racer.PrevWrite, ev.Write)
+			}
+		}
+	}
+
+	// complete settles a flight whose last expected chunk result arrived:
+	// steal accounting, batch recycle, pin release — then the delivery
+	// FIFO drains from the head so reports stay in dispatch order.
+	complete := func(fl *flight) {
+		fl.done = true
+		if len(fl.chunks) > 1 {
+			base := -1
+			for idx, ok := range fl.recv {
+				if !ok {
+					continue
+				}
+				if base < 0 {
+					base = fl.cons[idx]
+				} else if fl.cons[idx] != base {
+					p.stolen.Add(1)
+				}
+			}
+		}
+		event.Recycle(fl.b)
+		fl.b = nil
+		delete(flightOf, fl.seq)
+		active--
+		p.hbActive.Store(int64(active))
+		p.hbChecked.Add(1)
+		if e.vr != nil {
+			e.vr.Unpin()
+		}
+		for len(inflight) > 0 && inflight[0].done {
+			if !failed {
+				deliver(inflight[0])
+			}
+			inflight[0] = nil
+			inflight = inflight[1:]
+		}
+	}
+
+	// enterFailed flips the loop into drain mode: pending items are
+	// recycled, chunks not yet in a consumer's hands are unqueued and cut
+	// from their flights' expected-result counts — so a flight (and its
+	// pooled batch) is reclaimed as soon as the chunks that were sent
+	// come back, and a partially-stolen window leaks nothing — and intake
+	// drains until the engine closes it. Idempotent.
 	enterFailed := func() {
 		if failed {
 			return
 		}
 		failed = true
-		for i := range win {
-			event.Recycle(win[i].b)
+		for i := range pending {
+			event.Recycle(pending[i].b)
 			p.hbChecked.Add(1)
 		}
-		win = win[:0]
-		if hold != nil {
-			event.Recycle(hold.b)
-			p.hbChecked.Add(1)
-			hold = nil
+		pending, pub = nil, 0
+		for _, cw := range sendq {
+			flightOf[cw.seq].want--
 		}
-		// Undispatched batches of the active window were counted into
-		// active at flush but will never produce a result.
-		for _, b := range dispatch[dispatched:] {
-			event.Recycle(b)
-			p.hbChecked.Add(1)
-			active--
+		sendq = nil
+		var ripe []*flight
+		for _, fl := range inflight {
+			if !fl.done && fl.got == fl.want {
+				ripe = append(ripe, fl)
+			}
 		}
-		dispatch = dispatch[:0]
-		dispatched = 0
-		p.hbActive.Store(int64(active))
-		if active == 0 && pinned {
-			e.vr.Unpin()
-			pinned = false
+		for _, fl := range ripe {
+			complete(fl)
 		}
 	}
-	deliver := func(r *consResult) {
-		for _, ev := range r.events {
-			e.reportRace(ev.Addr, ev.Racer.Prev, r.strand, ev.Racer.PrevWrite, ev.Write)
-		}
-	}
+
 	handleResult := func(r consResult) {
-		active--
-		p.hbActive.Store(int64(active))
-		p.hbChecked.Add(1)
-		if active == 0 && pinned {
-			e.vr.Unpin()
-			pinned = false
-		}
+		fl := flightOf[r.seq]
+		fl.got++
+		fl.recv[r.idx] = true
+		fl.cons[r.idx] = r.consumer
+		fl.events[r.idx] = r.events
 		if r.err != nil {
 			p.fail(r.err)
 			enterFailed()
-			return
 		}
-		if failed {
-			return // late result of a pre-failure dispatch; verdicts moot
-		}
-		i := slotOf[r.seq]
-		slots[i] = &r
-		for nextDeliver < len(slots) && slots[nextDeliver] != nil {
-			deliver(slots[nextDeliver])
-			nextDeliver++
+		if !fl.done && fl.got == fl.want {
+			complete(fl)
 		}
 	}
+
 	admit := func(it workItem) {
 		if failed {
 			event.Recycle(it.b)
 			p.hbChecked.Add(1)
 			return
 		}
-		if hold == nil && p.compatible(it, win) {
-			win = append(win, it)
-		} else {
-			hold = &it
-		}
+		pending = append(pending, it)
 	}
-	// flush runs one epoch boundary: the relation is quiescent (active ==
-	// 0, no pin), so pending mutations up to the window's last version are
-	// applied, deferred discipline checks answered in stream order, and
-	// the window's real batches dispatched under a pinned snapshot.
-	flush := func() {
-		e.faults.Delay(faultinject.SchedulerStall)
-		if p.failed() {
-			// The latch closed while this goroutine slept (the watchdog's
-			// stall path): the window must not be dispatched against a
-			// relation that will no longer advance.
-			enterFailed()
-			return
-		}
-		last := win[len(win)-1]
-		if e.vr != nil {
-			e.vr.ApplyTo(last.b.Version)
-		}
-		dispatch = dispatch[:0]
-		for _, it := range win {
-			if it.disc != nil {
-				e.evalDisc(it.disc)
+
+	// tryPublish advances the publish cursor in item order. An item
+	// carrying a folding mutation (Barrier) or any non-pin-safe mutation
+	// (ApplyBarrier) publishes only on a quiescent pipeline — the old
+	// epoch boundary. A return span must not cover the strand of any
+	// outstanding flight (its queries would see the subtree retagged
+	// mid-check) nor of any published-but-undispatched batch (its check
+	// would run under a too-new relation). Publishing past an outstanding
+	// flight is the overlap this scheduler exists for.
+	tryPublish := func() {
+		for !failed && pub < len(pending) {
+			b := pending[pub].b
+			if (b.Barrier || b.ApplyBarrier) && (active > 0 || pub > 0) {
+				return
 			}
-			if len(it.b.Ops) == 0 {
-				event.Recycle(it.b)
+			for _, sp := range b.RetSpans {
+				for _, fl := range inflight {
+					if !fl.done && sp.Contains(fl.strand) {
+						return
+					}
+				}
+				for i := 0; i < pub; i++ {
+					if sp.Contains(pending[i].b.Strand) {
+						return
+					}
+				}
+			}
+			if active > 0 {
+				e.faults.Delay(faultinject.OverlapStall)
+			} else {
+				e.faults.Delay(faultinject.SchedulerStall)
+			}
+			if p.failed() {
+				// The latch closed while this goroutine slept (the
+				// watchdog's stall path): the item must not be published
+				// against a relation that will no longer advance.
+				enterFailed()
+				return
+			}
+			if e.vr != nil && b.Version > applied {
+				if active > 0 {
+					p.overlapped.Add(1)
+				}
+				e.vr.ApplyTo(b.Version)
+				applied = b.Version
+			}
+			if d := pending[pub].disc; d != nil {
+				e.evalDisc(d)
+			}
+			if len(b.Ops) == 0 {
+				event.Recycle(b)
 				p.hbChecked.Add(1)
+				pending = append(pending[:pub], pending[pub+1:]...)
 				continue
 			}
-			dispatch = append(dispatch, it.b)
+			pub++
 		}
-		win = win[:0]
-		if len(dispatch) == 0 {
-			return
+	}
+
+	// tryDispatch launches published batches as flights, strictly in item
+	// order, as soon as the head conflicts with no outstanding flight:
+	// distinct strands (same-strand batches share shadow words and must
+	// install in order) and, in MemFull, disjoint page footprints.
+	tryDispatch := func() {
+		for !failed && pub > 0 {
+			b := pending[0].b
+			for _, fl := range inflight {
+				if fl.done {
+					continue
+				}
+				if b.Strand != core.NoStrand && b.Strand == fl.strand {
+					return
+				}
+				if full && b.FP.Overlaps(&fl.b.FP) {
+					return
+				}
+			}
+			fl := &flight{b: b, seq: b.Seq, strand: b.Strand}
+			fl.chunks = p.splitBatch(b)
+			n := len(fl.chunks)
+			fl.want = n
+			fl.events = make([][]shadow.RaceEvent, n)
+			fl.cons = make([]int, n)
+			fl.recv = make([]bool, n)
+			if e.vr != nil {
+				e.vr.Pin()
+			}
+			inflight = append(inflight, fl)
+			flightOf[fl.seq] = fl
+			active++
+			p.hbActive.Store(int64(active))
+			if int64(active) > p.hbMaxWindow.Load() {
+				p.hbMaxWindow.Store(int64(active))
+			}
+			for i, c := range fl.chunks {
+				sendq = append(sendq, chunkWork{
+					b: b, seq: fl.seq, idx: i, lo: c.Lo, hi: c.Hi,
+					minPage: c.MinPage, maxPage: c.MaxPage,
+				})
+			}
+			pending = pending[1:]
+			pub--
 		}
-		if n := int64(len(dispatch)); n > p.hbMaxWindow.Load() {
-			p.hbMaxWindow.Store(n)
-		}
-		if e.vr != nil {
-			e.vr.Pin()
-			pinned = true
-		}
-		slots = slots[:0]
-		for range dispatch {
-			slots = append(slots, nil)
-		}
-		clear(slotOf)
-		for i, b := range dispatch {
-			slotOf[b.Seq] = i
-		}
-		nextDeliver = 0
-		active = len(dispatch)
-		p.hbActive.Store(int64(active))
-		dispatched = 0
 	}
 
 	for {
 		if !failed && p.failed() {
 			enterFailed()
 		}
-		// Push undispatched batches of the flushed window to the
-		// consumers, draining results in between so a full pool can never
-		// deadlock the hand-off.
-		for dispatched < len(dispatch) && active > 0 {
-			select {
-			case work <- dispatch[dispatched]:
-				dispatched++
-				p.hbDispatched.Add(1)
-			case r := <-results:
-				handleResult(r)
-			}
+		tryPublish()
+		tryDispatch()
+		if closed && active == 0 && len(pending) == 0 && len(sendq) == 0 {
+			return
 		}
 		// Opportunistically take everything already queued.
-		for hold == nil && !closed && !failed {
+		took := false
+		for !closed && (failed || len(pending) < maxPending) {
 			var it workItem
 			var ok bool
 			select {
@@ -614,28 +745,43 @@ func (p *pipeline) scheduleLoop(work chan<- *event.Batch, results <-chan consRes
 				break
 			}
 			admit(it)
+			took = true
 		}
-		// Epoch boundary: nothing in flight — flush what accumulated, or
-		// promote the held item into the fresh window.
-		if active == 0 {
-			if !failed && len(win) > 0 {
-				flush()
-				continue
-			}
-			if !failed && hold != nil {
-				it := *hold
-				hold = nil
-				win = append(win, it)
-				continue
-			}
-			if closed {
-				break
-			}
+		if took {
+			continue
 		}
-		// Block until something can move: a result, or (when intake is
-		// open) the next item.
-		if active > 0 {
-			if hold == nil && !closed {
+		// Block until something can move: a chunk hand-off, a result, or
+		// (when intake is open and pending has room) the next item.
+		canIntake := !closed && (failed || len(pending) < maxPending)
+		switch {
+		case len(sendq) > 0:
+			if canIntake {
+				select {
+				case work <- sendq[0]:
+					p.noteSent(flightOf[sendq[0].seq])
+					sendq[0] = chunkWork{}
+					sendq = sendq[1:]
+				case r := <-results:
+					handleResult(r)
+				case it, ok := <-p.items:
+					if !ok {
+						closed = true
+					} else {
+						admit(it)
+					}
+				}
+			} else {
+				select {
+				case work <- sendq[0]:
+					p.noteSent(flightOf[sendq[0].seq])
+					sendq[0] = chunkWork{}
+					sendq = sendq[1:]
+				case r := <-results:
+					handleResult(r)
+				}
+			}
+		case active > 0:
+			if canIntake {
 				select {
 				case r := <-results:
 					handleResult(r)
@@ -649,7 +795,10 @@ func (p *pipeline) scheduleLoop(work chan<- *event.Batch, results <-chan consRes
 			} else {
 				handleResult(<-results)
 			}
-		} else {
+		default:
+			// Nothing in flight and nothing to send: publish and dispatch
+			// always make progress on a quiescent pipeline, so pending is
+			// necessarily empty — wait for intake.
 			it, ok := <-p.items
 			if !ok {
 				closed = true
@@ -660,10 +809,21 @@ func (p *pipeline) scheduleLoop(work chan<- *event.Batch, results <-chan consRes
 	}
 }
 
+// noteSent accounts one chunk hand-off; the dispatch heartbeat advances
+// on a flight's first chunk.
+func (p *pipeline) noteSent(fl *flight) {
+	if fl.sent == 0 {
+		p.hbDispatched.Add(1)
+	}
+	fl.sent++
+}
+
 // evalDisc answers one deferred discipline check against the relation at
 // (or safely after) the get's version. Runs on the engine goroutine in
 // synchronous mode, the consumer goroutine in single-consumer mode, and
-// the scheduler goroutine (relation quiescent) in multi-consumer mode.
+// the scheduler goroutine in multi-consumer mode (where outstanding
+// flights may be querying concurrently — Precedes is snapshot-safe by
+// the QueryConcurrent contract).
 func (e *Engine) evalDisc(d *discCheck) {
 	if d.touches == 2 {
 		e.violate("multi-touch", fmt.Sprintf(
@@ -677,11 +837,11 @@ func (e *Engine) evalDisc(d *discCheck) {
 	}
 }
 
-// MaxDispatchedWindow reports the largest batch window the multi-consumer
-// scheduler dispatched in one epoch (0 when the pipeline was synchronous
-// or single-consumer). Window formation is timing-dependent, so this is a
-// diagnostic for tests and benchmarks, not part of Stats. Valid after Run
-// returns.
+// MaxDispatchedWindow reports the peak number of concurrently-outstanding
+// flights the multi-consumer scheduler reached (0 when the pipeline was
+// synchronous or single-consumer). Overlap is timing-dependent, so this
+// is a diagnostic for tests and benchmarks, not part of Stats. Valid
+// after Run returns.
 func (e *Engine) MaxDispatchedWindow() int {
 	if e.be == nil {
 		return 0

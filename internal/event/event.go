@@ -36,6 +36,7 @@ package event
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"futurerd/internal/core"
 )
@@ -167,6 +168,14 @@ type Batch struct {
 	// previous submitted batch and this one: this batch and everything
 	// after it must wait for every earlier in-flight batch.
 	Barrier bool
+	// ApplyBarrier records that some mutation between the previous
+	// submitted batch and this one is not pin-safe (core.PinConcurrent):
+	// the scheduler must wait for every snapshot pin to drain before it
+	// can advance the relation to this batch's Version. Barrier implies a
+	// scheduling barrier too; ApplyBarrier alone (e.g. a multi-strand
+	// return under an algorithm that cannot retag under pins) only gates
+	// when the version may be published, not which batches may overlap.
+	ApplyBarrier bool
 	// RetSpans lists the subtree strand spans of return mutations recorded
 	// between the previous submitted batch and this one: a return retags
 	// only its own subtree's bags, so it conflicts exactly with in-flight
@@ -260,7 +269,62 @@ func (b *Batch) Reset() {
 	b.FP.Spans = b.FP.Spans[:0]
 	b.FP.Exact = false
 	b.Barrier = false
+	b.ApplyBarrier = false
 	b.RetSpans = b.RetSpans[:0]
+}
+
+// OpChunk names a footprint-disjoint slice of a batch's ops for
+// chunk-granularity work stealing: ops[Lo:Hi), touching only pages in
+// [MinPage, MaxPage]. SplitOps guarantees the page ranges of a batch's
+// chunks are pairwise disjoint, so two consumers can check chunks of the
+// same batch concurrently without sharing a shadow word.
+type OpChunk struct {
+	Lo, Hi           int
+	MinPage, MaxPage uint64
+}
+
+// SplitOps cuts ops into footprint-disjoint chunks of at least minWords
+// words each (the last chunk takes the remainder). A cut is only made
+// between op i and i+1 when every page touched at or before i is strictly
+// below every page touched after i, so the chunks partition both the op
+// sequence and the page space. Ops whose addresses interleave across the
+// whole batch yield a single chunk — stealing then degrades to whole-batch
+// assignment, never to an unsound overlap.
+func SplitOps(ops []Op, minWords int, pageBits uint) []OpChunk {
+	if len(ops) == 0 {
+		return nil
+	}
+	// sufMin[i] = min page touched by ops[i:]; prefMax accumulates forward.
+	sufMin := make([]uint64, len(ops)+1)
+	sufMin[len(ops)] = ^uint64(0)
+	for i := len(ops) - 1; i >= 0; i-- {
+		lo := ops[i].Addr >> pageBits
+		if lo > sufMin[i+1] {
+			lo = sufMin[i+1]
+		}
+		sufMin[i] = lo
+	}
+	var chunks []OpChunk
+	start, words := 0, 0
+	var prefMax uint64
+	var curMin uint64 = ^uint64(0)
+	for i := range ops {
+		lo := ops[i].Addr >> pageBits
+		hi := (ops[i].Addr + uint64(ops[i].Words) - 1) >> pageBits
+		if lo < curMin {
+			curMin = lo
+		}
+		if hi > prefMax {
+			prefMax = hi
+		}
+		words += ops[i].Words
+		if words >= minWords && i+1 < len(ops) && prefMax < sufMin[i+1] {
+			chunks = append(chunks, OpChunk{Lo: start, Hi: i + 1, MinPage: curMin, MaxPage: prefMax})
+			start, words = i+1, 0
+			curMin = ^uint64(0)
+		}
+	}
+	return append(chunks, OpChunk{Lo: start, Hi: len(ops), MinPage: curMin, MaxPage: prefMax})
 }
 
 // Stats counts batch-pipeline traffic. A batch is "independent" when its
@@ -284,12 +348,26 @@ type Stats struct {
 	FootprintSpans      uint64
 	FootprintPages      uint64
 	CollapsedFootprints uint64
+	// StolenChunks counts batch chunks checked by a consumer other than
+	// the one that took the batch's first chunk, and OverlappedWindows
+	// counts relation versions published while earlier batches were still
+	// in flight (the overlapping-window fast path). Both depend on
+	// scheduling timing — unlike every counter above they are NOT
+	// deterministic, and equivalence comparisons zero them on both sides.
+	StolenChunks      uint64
+	OverlappedWindows uint64
 }
 
 var pool = sync.Pool{New: func() any { return &Batch{} }}
 
+// live counts batches taken from the pool and not yet recycled; tests use
+// the delta across a run to prove the pipeline (including its failure
+// paths) leaks no pooled batches.
+var live atomic.Int64
+
 // New returns an empty batch from the pool.
 func New() *Batch {
+	live.Add(1)
 	b := pool.Get().(*Batch)
 	b.Reset()
 	return b
@@ -300,5 +378,11 @@ func Recycle(b *Batch) {
 	if b == nil {
 		return
 	}
+	live.Add(-1)
 	pool.Put(b)
 }
+
+// Live returns the number of batches currently checked out of the pool.
+// Compare before/after deltas rather than absolute values: other engines
+// in the same process (parallel tests) also check batches out.
+func Live() int64 { return live.Load() }

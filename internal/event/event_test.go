@@ -137,3 +137,73 @@ func TestStrandSpanContains(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitOpsPartitionsPageDisjointRuns pins the chunk planner the
+// work-stealing scheduler relies on: chunks partition the op sequence,
+// their page ranges are pairwise disjoint and ascending, a cut never
+// lands before the granule is full, and interleaved addresses collapse
+// to a single chunk.
+func TestSplitOpsPartitionsPageDisjointRuns(t *testing.T) {
+	const pageBits = 12
+	page := uint64(1) << pageBits
+	ops := []Op{
+		{Addr: 0 * page, Words: 40, Kind: Write},
+		{Addr: 1 * page, Words: 40, Kind: Read},
+		{Addr: 10 * page, Words: 40, Kind: Write},
+		{Addr: 11 * page, Words: 40, Kind: Write},
+		{Addr: 50 * page, Words: 40, Kind: Read},
+	}
+	// 40 words is below the 64-word granule, so the first eligible cut is
+	// after op 1 (80 words, pages 0-1 strictly below everything later),
+	// the next after op 3, and the final op takes the remainder.
+	chunks := SplitOps(ops, 64, pageBits)
+	want := []OpChunk{
+		{Lo: 0, Hi: 2, MinPage: 0, MaxPage: 1},
+		{Lo: 2, Hi: 4, MinPage: 10, MaxPage: 11},
+		{Lo: 4, Hi: 5, MinPage: 50, MaxPage: 50},
+	}
+	if len(chunks) != len(want) {
+		t.Fatalf("chunks = %+v, want %+v", chunks, want)
+	}
+	for i := range want {
+		if chunks[i] != want[i] {
+			t.Fatalf("chunk %d = %+v, want %+v", i, chunks[i], want[i])
+		}
+	}
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i].Lo != chunks[i-1].Hi {
+			t.Fatalf("chunks do not partition the op sequence: %+v", chunks)
+		}
+		if chunks[i-1].MaxPage >= chunks[i].MinPage {
+			t.Fatalf("chunk page ranges overlap: %+v", chunks)
+		}
+	}
+
+	// Interleaved addresses: a later op revisits an early page, so no cut
+	// point separates the page space — one chunk, stealing degrades to
+	// whole-batch granularity.
+	inter := []Op{
+		{Addr: 0, Words: 100, Kind: Write},
+		{Addr: 10 * page, Words: 100, Kind: Write},
+		{Addr: 0, Words: 100, Kind: Read},
+	}
+	if got := SplitOps(inter, 64, pageBits); len(got) != 1 ||
+		got[0].Lo != 0 || got[0].Hi != 3 || got[0].MinPage != 0 || got[0].MaxPage != 10 {
+		t.Fatalf("interleaved ops = %+v, want one chunk over pages [0,10]", got)
+	}
+
+	// An op spanning a page boundary counts all its pages on the prefix
+	// side, so the cut respects the span's true extent.
+	span := []Op{
+		{Addr: page - 8, Words: 16, Kind: Write}, // pages 0-1
+		{Addr: 5 * page, Words: 16, Kind: Write},
+	}
+	got := SplitOps(span, 16, pageBits)
+	if len(got) != 2 || got[0].MaxPage != 1 || got[1].MinPage != 5 {
+		t.Fatalf("page-spanning op chunks = %+v, want split [0,1] | [5,5]", got)
+	}
+
+	if got := SplitOps(nil, 16, pageBits); got != nil {
+		t.Fatalf("SplitOps(nil) = %+v, want nil", got)
+	}
+}

@@ -46,6 +46,14 @@ const (
 	// of the access history), on whichever goroutine first touches the
 	// page.
 	PageFail
+	// StealPanic panics on a consumer processing a stolen chunk (a chunk
+	// other than the batch's first), exercising failure of a
+	// partially-checked, multi-consumer batch.
+	StealPanic
+	// OverlapStall sleeps Plan.Stall on the scheduler as it publishes a
+	// relation version while earlier batches are still in flight — a
+	// wedged overlapping window for the watchdog to catch.
+	OverlapStall
 
 	numPoints
 )
@@ -63,6 +71,10 @@ func (p Point) String() string {
 		return "corrupt-footprint"
 	case PageFail:
 		return "page-fail"
+	case StealPanic:
+		return "steal-panic"
+	case OverlapStall:
+		return "overlap-stall"
 	default:
 		return fmt.Sprintf("point(%d)", uint8(p))
 	}

@@ -117,6 +117,8 @@ func consumersOne(t *testing.T, seed uint64, opts Options, mode detect.Mode) {
 		}
 		ss.Shadow.ParRanges, ss.Shadow.ParChunks, ss.Shadow.PageCacheHits = 0, 0, 0
 		cs.Shadow.ParRanges, cs.Shadow.ParChunks, cs.Shadow.PageCacheHits = 0, 0, 0
+		ss.Event.StolenChunks, ss.Event.OverlappedWindows = 0, 0
+		cs.Event.StolenChunks, cs.Event.OverlappedWindows = 0, 0
 		if ss.RaceCount != cs.RaceCount || ss.Shadow != cs.Shadow ||
 			ss.Reach != cs.Reach || ss.Event != cs.Event {
 			t.Fatalf("seed %d [c=%d w=%d]: stats diverge\nserial %+v\ngot    %+v\n%s",

@@ -5,8 +5,8 @@
 // Wall-clock timings vary with the machine, so a timing-based gate on
 // shared CI runners is noise. The run counters are different: for a given
 // input size, code version and (serial) configuration, the number of
-// shadow accesses, ownership skips, memo hits, reachability queries and
-// races is exactly reproducible. Any unexplained change is a behavioral
+// shadow accesses, ownership skips, memo hits, epoch transfers and
+// inflations, reachability queries and races is exactly reproducible. Any unexplained change is a behavioral
 // regression — a fast path silently disabled, a protocol change leaking
 // extra queries, a race appearing — even when the timings look fine.
 // The overlapping scheduler's outcome counters (event.overlapped,
@@ -76,6 +76,10 @@ func counterRow(m *bench.Measurement) map[string]uint64 {
 		"shadow.owned":      s.Shadow.OwnedSkips,
 		"shadow.readshared": s.Shadow.ReadSharedSkips,
 		"shadow.memo":       s.Shadow.MemoHits,
+		"shadow.epochhits":  s.Shadow.EpochHits,
+		"shadow.inflations": s.Shadow.EpochInflations,
+		"shadow.deflations": s.Shadow.EpochDeflations,
+		"shadow.spill":      s.Shadow.SpillEntries,
 		"event.batches":     s.Event.Batches,
 		"event.independent": s.Event.IndependentBatches,
 		"event.serialized":  s.Event.SerializedBatches,

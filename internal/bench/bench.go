@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"futurerd"
+	"futurerd/internal/shadow"
 	"futurerd/internal/trace"
 	"futurerd/internal/workloads"
 )
@@ -250,6 +251,29 @@ func readSharedPct(rep *futurerd.Report) string {
 	return skipPct(rep, func(s futurerd.Stats) uint64 { return s.Shadow.ReadSharedSkips })
 }
 
+// epochPct renders the fraction of accesses whose writer query was
+// answered by a cross-generation stamp transfer (EpochOrdered carrying a
+// prior reader's proven verdict to the current strand). Unlike owned and
+// rdshare this is not a skip — the read still appends — so the column
+// reads as "how much of the query bill the carried-forward epoch paid".
+func epochPct(rep *futurerd.Report) string {
+	return skipPct(rep, func(s futurerd.Stats) uint64 { return s.Shadow.EpochHits })
+}
+
+// footprint renders the resident shadow-memory footprint of the full
+// run: every touched shadow page holds a word record per application
+// word, plus one spill entry per reader held beyond the inline slot on
+// inflated words.
+func footprint(rep *futurerd.Report) string {
+	if rep == nil {
+		return "-"
+	}
+	sh := rep.Stats.Shadow
+	b := sh.TouchedPages*(1<<shadow.PageBits)*shadow.WordBytes +
+		sh.SpillEntries*4 // spill entries are bare 4-byte strand ids
+	return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+}
+
 // indepPct renders the fraction of sealed batches classified independent
 // of their predecessor — the (deterministic) pairwise form of the
 // multi-consumer scheduler's concurrency condition, so it reads as "how
@@ -290,7 +314,7 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 	opts.defaults()
 	t := &Table{
 		Title:  title,
-		Header: []string{"bench", "baseline", "reach", "", "instr", "", "full", "", "owned", "rdshare", "indep", "ovlp", "stolen"},
+		Header: []string{"bench", "baseline", "reach", "", "instr", "", "full", "", "owned", "rdshare", "epoch", "indep", "ovlp", "stolen", "shadow"},
 	}
 	var ms []Measurement
 	var reachR, instrR, fullR []float64
@@ -308,8 +332,8 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 			secs(reach), ratio(reach, base),
 			secs(instr), ratio(instr, base),
 			secs(full), ratio(full, base),
-			ownedPct(fullRep), readSharedPct(fullRep), indepPct(fullRep),
-			overlapped(fullRep), stolen(fullRep),
+			ownedPct(fullRep), readSharedPct(fullRep), epochPct(fullRep), indepPct(fullRep),
+			overlapped(fullRep), stolen(fullRep), footprint(fullRep),
 		})
 		ms = append(ms,
 			Measurement{Figure: name, Bench: b.Name, Config: "baseline", Seconds: base.Seconds()},
@@ -335,10 +359,12 @@ func figure(opts Options, name, title string, mode futurerd.Mode, pick func(work
 		"times are seconds (min of iterations); (x) columns are overhead vs baseline;",
 		"owned/rdshare = full-config accesses resolved by the shadow owned-word and",
 		"read-shared epoch fast paths (disjoint; each access counts at most once);",
+		"epoch = accesses whose writer query a cross-generation stamp transfer paid;",
 		"indep = sealed batches independent of their predecessor (what a multi-",
 		"consumer back-end can check concurrently); ovlp/stolen = windows published",
 		"over an in-flight predecessor and chunks checked by a non-primary consumer",
-		"(scheduling outcomes: zero for serial runs, timing-dependent with a pool)")
+		"(scheduling outcomes: zero for serial runs, timing-dependent with a pool);",
+		"shadow = resident shadow footprint (touched pages at 12 B/word + spill entries)")
 	return t, ms, nil
 }
 

@@ -276,7 +276,15 @@ func (m *MultiBagsPlus) SyncJoin(r JoinRec) {
 // and the counters are atomic.
 func (m *MultiBagsPlus) Precedes(u, v StrandID) bool {
 	atomic.AddUint64(&m.queries, 1)
-	if m.dsp.Precedes(u, v) { // lines 1–2
+	return m.ordered(u, v)
+}
+
+// ordered is the body of Precedes without the query counter: shared by
+// Precedes and by EpochOrdered's last arm, which answers from the same
+// structures but stands in for queries rather than being one.
+func (m *MultiBagsPlus) ordered(u, v StrandID) bool {
+	root := m.dsp.uf.FindRO(uint32(m.st.FnOf(u)))
+	if m.dsp.tag.RO()[root] == tagS { // lines 1–2
 		return true
 	}
 	att, attPred, attSucc := m.att.RO(), m.attPred.RO(), m.attSucc.RO()
@@ -309,6 +317,27 @@ func (m *MultiBagsPlus) Precedes(u, v StrandID) bool {
 
 // ConcurrentPrecedesSafe implements QueryConcurrent.
 func (m *MultiBagsPlus) ConcurrentPrecedesSafe() bool { return true }
+
+// EpochOrdered implements EpochConcurrent. MultiBags+ is exact on every
+// forward-pointing program (Theorem 5.4), so any sufficient condition for
+// u ≺ v in the dag gives verdict transfer: the stamped Precedes(w, u) ==
+// true means w ≺ u, monotonicity gives w ≺ v, and exactness turns that
+// back into Precedes(w, v) == true. The first arm is free: u and v being
+// strands of the same function instance with u allocated first means they
+// are ordered through the function's own continuation chain. Otherwise
+// the full Precedes answer (DSP tag, then R-closure) decides — taken
+// without the query counter, because the shadow layer memoizes one
+// EpochOrdered per stamp holder per window where the reference protocol
+// would pay one writer query per stamp-boundary.
+func (m *MultiBagsPlus) EpochOrdered(u, v StrandID) bool {
+	if u == NoStrand {
+		return false
+	}
+	if u < v && m.st.FnOf(u) == m.st.FnOf(v) {
+		return true
+	}
+	return m.ordered(u, v)
+}
 
 // PinSafeMut implements PinConcurrent. Only spawn and return qualify:
 // spawn makes a fresh DSP S-bag and two fresh unattached DNSP singletons

@@ -251,6 +251,14 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.raceSeen = make(map[uint64]uint64)
 	e.sctx.Reach = e.reach
+	// The carried-forward read epoch engages only when the algorithm
+	// offers verdict transfer. The oracle recorder and the Verify
+	// cross-check wrapper don't, so verified runs exercise the full
+	// protocol on every stamped word — the differential arms compare
+	// epoch-on runs against them.
+	if ec, ok := e.reach.(core.EpochConcurrent); ok {
+		e.sctx.Epoch = ec
+	}
 	e.sctx.OnReadRace = func(addr uint64, r shadow.Racer, cur core.StrandID) {
 		e.reportRace(addr, r.Prev, cur, r.PrevWrite, false)
 	}

@@ -102,6 +102,98 @@ func TestConsumersEquivalence(t *testing.T) {
 	}
 }
 
+// epochProg exercises the carried-forward read epoch under the consumer
+// pool: four children install disjoint writer blocks over one shared
+// range, then the parent re-scans the whole range with a real spawn+sync
+// between scans — every scan runs in a new construct generation on a new
+// strand of the same function, so only the cross-generation stamp
+// transfer keeps the re-scans query-free. A future raced against its
+// creator keeps the race stream non-empty so delivery order is pinned.
+func epochProg(tk *Task) {
+	for i := 0; i < 4; i++ {
+		base := uint64(1 + i*1024)
+		tk.Spawn(func(c *Task) { c.WriteRange(base, 1024) })
+	}
+	tk.Sync()
+	for pass := 0; pass < 3; pass++ {
+		tk.Spawn(func(c *Task) {})
+		tk.Sync() // a folding construct: the next scan is a new generation
+		tk.ReadRange(1, 4096)
+	}
+	h := tk.CreateFut(func(ft *Task) any {
+		ft.WriteRange(1<<21, 64)
+		return nil
+	})
+	tk.ReadRange(1<<21, 64) // parallel with the future: races
+	tk.GetFut(h)
+}
+
+// TestEpochConsumersEquivalence pins the epoch counters and the stamp
+// transfer across the consumer pool: for every algorithm × Consumers ∈
+// {1,2,4} × Workers ∈ {1,4}, the full Stats — including EpochHits,
+// EpochInflations, EpochDeflations and SpillEntries — must deep-equal
+// the serial run, and the serial run must actually take cross-generation
+// transfers. For the verifying algorithms, a Verify run (whose wrapped
+// relation drops the EpochConcurrent capability, so the reference
+// protocol runs epoch-free under oracle audit) must report the identical
+// race stream.
+func TestEpochConsumersEquivalence(t *testing.T) {
+	for _, mode := range []Mode{ModeSPBags, ModeMultiBags, ModeMultiBagsPlus} {
+		serial := NewEngine(Config{Mode: mode, Mem: MemFull, MaxRaces: 1 << 20}).Run(epochProg)
+		if serial.Err != nil {
+			t.Fatalf("%v: %v", mode, serial.Err)
+		}
+		if !serial.Racy() {
+			t.Fatalf("%v: program raced nowhere; the test needs races to order", mode)
+		}
+		if serial.Stats.Shadow.EpochHits == 0 {
+			t.Fatalf("%v: no cross-generation stamp transfers; the test exercises nothing", mode)
+		}
+		for _, consumers := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 4} {
+				rep := NewEngine(Config{
+					Mode: mode, Mem: MemFull, MaxRaces: 1 << 20,
+					Consumers: consumers, Workers: workers,
+				}).Run(epochProg)
+				if rep.Err != nil {
+					t.Fatalf("%v c=%d w=%d: %v", mode, consumers, workers, rep.Err)
+				}
+				if !reflect.DeepEqual(serial.Races, rep.Races) {
+					t.Fatalf("%v c=%d w=%d: race streams diverge\nserial %v\ngot    %v",
+						mode, consumers, workers, serial.Races, rep.Races)
+				}
+				ss, as := serial.Stats, rep.Stats
+				ss.Shadow.ParRanges, ss.Shadow.ParChunks, ss.Shadow.PageCacheHits = 0, 0, 0
+				as.Shadow.ParRanges, as.Shadow.ParChunks, as.Shadow.PageCacheHits = 0, 0, 0
+				ss.Event.StolenChunks, ss.Event.OverlappedWindows = 0, 0
+				as.Event.StolenChunks, as.Event.OverlappedWindows = 0, 0
+				if !reflect.DeepEqual(ss, as) {
+					t.Fatalf("%v c=%d w=%d: stats diverge\nserial %+v\ngot    %+v",
+						mode, consumers, workers, ss, as)
+				}
+			}
+		}
+		if mode == ModeSPBags {
+			continue // the oracle models future joins; SPBags deliberately does not
+		}
+		ref := NewEngine(Config{Mode: mode, Mem: MemFull, Verify: true, MaxRaces: 1 << 20}).Run(epochProg)
+		if ref.Err != nil {
+			t.Fatalf("%v verify: %v", mode, ref.Err)
+		}
+		for _, v := range ref.Violations {
+			t.Fatalf("%v verify: %s: %s", mode, v.Kind, v.Detail)
+		}
+		if ref.Stats.Shadow.EpochHits != 0 {
+			t.Fatalf("%v verify: reference run took %d epoch transfers, want 0",
+				mode, ref.Stats.Shadow.EpochHits)
+		}
+		if !reflect.DeepEqual(serial.Races, ref.Races) {
+			t.Fatalf("%v: epoch run and epoch-free reference diverge\nepoch %v\nref   %v",
+				mode, serial.Races, ref.Races)
+		}
+	}
+}
+
 // TestConsumersCheckConcurrently proves true overlap: the first batch is
 // held in flight on one consumer while the engine seals the fan-out's
 // batches; once released, the scheduler must dispatch the accumulated

@@ -139,6 +139,64 @@ func consumersOne(t *testing.T, seed uint64, opts Options, mode detect.Mode) {
 	}, false)
 }
 
+// epochOne is the cross-generation read-epoch differential on one
+// generated program. The reference run sets Verify: the engine wraps the
+// algorithm for oracle cross-checking, the wrapper does not export the
+// EpochConcurrent capability, and so every cross-generation re-read pays
+// the full reference protocol while the oracle audits each verdict. The
+// epoch-enabled runs (Workers ∈ {1,4} × Consumers ∈ {1,4}) must then
+// reproduce that reference report exactly — same races in the same
+// order, same verdict counters — with the stamp transfer switched on.
+func epochOne(t *testing.T, seed uint64, opts Options, mode detect.Mode) uint64 {
+	t.Helper()
+	p := Generate(seed, opts)
+	ref := detect.NewEngine(detect.Config{
+		Mode: mode, Mem: detect.MemFull, Verify: true, MaxRaces: 1 << 20,
+	}).Run(p.Run)
+	if ref.Err != nil {
+		t.Fatalf("seed %d: reference err %v\n%s", seed, ref.Err, p)
+	}
+	for _, v := range ref.Violations {
+		t.Fatalf("seed %d: %s: %s\n%s", seed, v.Kind, v.Detail, p)
+	}
+	if ref.Stats.Shadow.EpochHits != 0 {
+		t.Fatalf("seed %d: verified reference run took %d epoch transfers, want 0\n%s",
+			seed, ref.Stats.Shadow.EpochHits, p)
+	}
+	var hits uint64
+	for _, consumers := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			rep := detect.NewEngine(detect.Config{
+				Mode: mode, Mem: detect.MemFull, MaxRaces: 1 << 20,
+				Consumers: consumers, Workers: workers,
+			}).Run(p.Run)
+			if rep.Err != nil {
+				t.Fatalf("seed %d [c=%d w=%d]: %v\n%s", seed, consumers, workers, rep.Err, p)
+			}
+			if len(ref.Races) != len(rep.Races) {
+				t.Fatalf("seed %d [c=%d w=%d]: epoch run found %d races, reference %d\n%s",
+					seed, consumers, workers, len(rep.Races), len(ref.Races), p)
+			}
+			for i := range ref.Races {
+				if ref.Races[i] != rep.Races[i] {
+					t.Fatalf("seed %d [c=%d w=%d]: race %d differs: epoch %v, reference %v\n%s",
+						seed, consumers, workers, i, rep.Races[i], ref.Races[i], p)
+				}
+			}
+			rs, es := ref.Stats.Shadow, rep.Stats.Shadow
+			if ref.Stats.RaceCount != rep.Stats.RaceCount ||
+				rs.Reads != es.Reads || rs.Writes != es.Writes ||
+				rs.OwnedSkips != es.OwnedSkips || rs.ReadSharedSkips != es.ReadSharedSkips ||
+				rs.ReaderAppends != es.ReaderAppends || rs.ReaderFlushes != es.ReaderFlushes {
+				t.Fatalf("seed %d [c=%d w=%d]: verdict counters diverge\nreference %+v\nepoch     %+v\n%s",
+					seed, consumers, workers, rs, es, p)
+			}
+			hits += es.EpochHits
+		}
+	}
+	return hits
+}
+
 // replayOne asserts the record→replay→detect equivalence on one
 // generated program: recording its trace and replaying it must reproduce
 // the direct run's report — same races in the same order, same structure
@@ -253,6 +311,19 @@ func FuzzReadSharedPrograms(f *testing.F) {
 		fuzzOne(t, seed, str, detect.ModeMultiBags)
 		parallelOne(t, seed, gen, detect.ModeMultiBagsPlus)
 		replayOne(t, seed, gen)
+		// Cross-generation arm: construct-dense read-heavy programs bump
+		// the generation every few statements, so stamped read verdicts
+		// must carry across construct windows (or fall back) without ever
+		// changing a verdict vs the oracle-audited reference protocol.
+		dense := gen
+		dense.ConstructDense = true
+		denseStr := str
+		denseStr.ConstructDense = true
+		fuzzOne(t, seed, dense, detect.ModeMultiBagsPlus)
+		fuzzOne(t, seed, denseStr, detect.ModeMultiBags)
+		epochOne(t, seed, dense, detect.ModeMultiBagsPlus)
+		epochOne(t, seed, denseStr, detect.ModeMultiBags)
+		replayOne(t, seed, dense)
 	})
 }
 
@@ -337,5 +408,24 @@ func TestReadSharedHeavySeeds(t *testing.T) {
 	}
 	if skips == 0 {
 		t.Fatal("read-heavy sweep never hit the read-shared fast path")
+	}
+}
+
+// TestEpochCrossGenSeeds sweeps the cross-generation epoch differential
+// without the fuzzer — construct-dense read-heavy programs under
+// Workers ∈ {1,4} × Consumers ∈ {1,4} against the oracle-audited,
+// epoch-free reference — and checks the sweep actually takes stamp
+// transfers somewhere, so the differential proves something about the
+// carried-forward epoch rather than vacuously passing with it cold.
+func TestEpochCrossGenSeeds(t *testing.T) {
+	gen := Options{Dialect: General, MaxStmts: 60, Locs: 5, ReadHeavy: true, ConstructDense: true}
+	str := Options{Dialect: Structured, MaxStmts: 60, Locs: 5, ReadHeavy: true, ConstructDense: true}
+	var hits uint64
+	for seed := uint64(0); seed < 25; seed++ {
+		hits += epochOne(t, seed, gen, detect.ModeMultiBagsPlus)
+		hits += epochOne(t, seed, str, detect.ModeMultiBags)
+	}
+	if hits == 0 {
+		t.Fatal("construct-dense sweep never transferred a stamped verdict across generations")
 	}
 }

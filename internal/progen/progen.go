@@ -106,6 +106,15 @@ type Options struct {
 	// reference protocol and the oracle.
 	ReadHeavy bool
 
+	// ConstructDense doubles the spawn and sync weight of the statement
+	// mix (while keeping a read-leaning access profile), so construct
+	// generations bump every few statements and most re-reads land in a
+	// later generation than the stamp they hope to ride. This is the
+	// traffic shape of the carried-forward read epoch: differential arms
+	// combining ConstructDense with ReadHeavy pin the cross-generation
+	// stamp transfer against the reference protocol and the oracle.
+	ConstructDense bool
+
 	// PageSpread gives every spawned/created function body its own
 	// page-aligned address region for most of its accesses (a quarter
 	// still hit the shared low locations). Default programs keep all
@@ -233,10 +242,15 @@ func (g *generator) genStmt(depth int, fr *frame) Stmt {
 	// original 7 reads : 5 writes : 3 spawns : 2 creates : 2 gets : 1
 	// sync; read-heavy programs trade most writes and one spawn slot for
 	// extra reads (12:2:2:1:2:1), so reader lists pile up and survive
-	// across construct windows.
+	// across construct windows. Construct-dense programs instead trade
+	// reads for spawns and syncs (10:2:4:1:1:2), so generations bump every
+	// few statements and stamped verdicts must carry across them.
 	readCut, writeCut, spawnCut, createCut, getCut := 7, 12, 15, 17, 19
 	if g.opts.ReadHeavy {
 		readCut, writeCut, spawnCut, createCut, getCut = 12, 14, 16, 17, 19
+	}
+	if g.opts.ConstructDense {
+		readCut, writeCut, spawnCut, createCut, getCut = 10, 12, 16, 17, 18
 	}
 	// loc places an access: on the shared low locations, or — under
 	// PageSpread, three times in four — inside the block's private page.

@@ -6,10 +6,10 @@ import (
 	"futurerd/internal/core"
 )
 
-// These tests pin the read-shared epoch fast path: a strand re-reading
-// words it already read race-free at the current construct generation
-// must skip the reachability layer entirely, on the serial and the
-// worker-pool paths alike, without changing a single verdict.
+// These tests pin the read-epoch fast path: a strand re-reading words it
+// already read race-free must skip the reachability layer entirely — in
+// any construct generation — on the serial and the worker-pool paths
+// alike, without changing a single verdict.
 
 // writeInterleaved installs an alternating last-writer pattern (strands
 // w1/w2 in blocks of blk words) over [1, 1+n) so a later reader cannot be
@@ -152,10 +152,12 @@ func TestReadSharedStampPerStrand(t *testing.T) {
 	}
 }
 
-// TestReadSharedGenerationBump: bumping the generation ends the stamp's
-// validity window; the next read re-proves (the relation may have
-// changed) and re-stamps at the new generation.
-func TestReadSharedGenerationBump(t *testing.T) {
+// TestReadSharedStampSurvivesGenerations: the stamp carries forward across
+// construct generations — a re-read by the same strand in a later window
+// makes zero extra reachability queries. (The engine only keeps a strand
+// current across a generation bump at an empty sync, which mutates
+// nothing, so the stamped verdict is still in force.)
+func TestReadSharedStampSurvivesGenerations(t *testing.T) {
 	h := NewHistory()
 	var races []raceEvent
 	ctx := ctxFor(seqRel(1), &races)
@@ -163,21 +165,24 @@ func TestReadSharedGenerationBump(t *testing.T) {
 	ctx.Gen = 4
 	h.ReadRange(1, 32, 5, ctx)
 	q1 := ctx.Reach.(*relReach).queries.Load()
-	ctx.Gen = 6
-	h.ReadRange(1, 32, 5, ctx) // new generation: full protocol again
-	if q := ctx.Reach.(*relReach).queries.Load(); q == q1 {
-		t.Fatal("stale-generation stamp served a read after the window closed")
-	}
 	sk := h.Stats().ReadSharedSkips
-	h.ReadRange(1, 32, 5, ctx) // same new generation: skips again
+	ctx.Gen = 6
+	h.ReadRange(1, 32, 5, ctx) // later generation: the stamp still serves
+	if q := ctx.Reach.(*relReach).queries.Load(); q != q1 {
+		t.Fatalf("cross-generation re-read made %d extra queries, want 0", q-q1)
+	}
 	if got := h.Stats().ReadSharedSkips; got != sk+32 {
 		t.Fatalf("ReadSharedSkips = %d, want %d", got, sk+32)
 	}
+	if len(races) != 0 {
+		t.Fatalf("ordered reads raced: %v", races[0])
+	}
 }
 
-// TestReadEpochsDisabledPastGenWrap: generations beyond 2^32 disable the
-// 32-bit stamp instead of aliasing it — reads still work, never skip.
-func TestReadEpochsDisabledPastGenWrap(t *testing.T) {
+// TestReadSharedStampHugeGenerations: the stamp carries no generation
+// bits, so runs past any 32-bit boundary keep the fast path (the old
+// truncated-stamp wrap hazard is structurally gone).
+func TestReadSharedStampHugeGenerations(t *testing.T) {
 	h := NewHistory()
 	var races []raceEvent
 	ctx := ctxFor(seqRel(1), &races)
@@ -185,8 +190,8 @@ func TestReadEpochsDisabledPastGenWrap(t *testing.T) {
 	ctx.Gen = (1 << 32) + 5
 	h.ReadRange(1, 4, 2, ctx)
 	h.ReadRange(1, 4, 2, ctx)
-	if got := h.Stats().ReadSharedSkips; got != 0 {
-		t.Fatalf("ReadSharedSkips = %d past the generation wrap, want 0", got)
+	if got := h.Stats().ReadSharedSkips; got != 4 {
+		t.Fatalf("ReadSharedSkips = %d past the 32-bit boundary, want 4", got)
 	}
 	if len(races) != 0 {
 		t.Fatalf("ordered reads raced: %v", races[0])

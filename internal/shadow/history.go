@@ -18,23 +18,43 @@
 //   - Page location is a flat two-level table (directory slice → page
 //     array) instead of a map, fronted by a last-page cache, so a
 //     sequential scan resolves its page once per 4096 words.
+//
 //   - ReadRange/WriteRange/TouchRange split a bulk access at page
 //     boundaries, hoist the page lookup out of the loop, and run a tight
 //     per-word loop over the page's slot array.
+//
 //   - Epoch-style ownership: a strand re-accessing a word it already owns
 //     (it is the last writer, and for writes no readers intervened) is
 //     race-free by definition and skips the protocol entirely — the
 //     FastTrack "same epoch" observation transplanted to strand ids.
-//   - Read-shared epochs: each word additionally carries a (lastReader,
-//     readGen) summary stamped when a read completes race-free. A strand
-//     re-reading a word it was the last to read, at the same construct
-//     generation, skips the protocol — the Precedes verdict against the
-//     word's writer was already proven in this window, the relation is
-//     immutable until the next construct, and any intervening write would
-//     have cleared the stamp. This is FastTrack's read-epoch observation
-//     carried over to strand ids: repeated reads of shared data, the
-//     dominant pattern in future-parallel code, cost one query per
-//     (word, strand, generation), not one per access.
+//
+//   - Carried-forward read epochs: each word additionally carries a
+//     lastReader stamp recorded when a read completes race-free, and the
+//     stamp stays valid *across* construct generations — it dies only at
+//     the next write install (flushReaders), never at a spawn or join.
+//     The word's read state is a two-state machine: *single-reader* (the
+//     inline reader0 slot plus the stamp) inflating to *inflated* (the
+//     spill list, entered only on genuine read contention — a second
+//     distinct reader between writes) and deflating back on the next
+//     write-then-read cycle. The stamp is consulted twice:
+//
+//     1. A strand re-reading a word it was the last to read skips the
+//     protocol outright. The engine only keeps a strand current across a
+//     generation bump at an empty sync, which records no relation
+//     mutation, so the verdict proven at the stamp is still in force —
+//     no generation check needed.
+//
+//     2. For a different current reader s, the stamp transfers its
+//     verdict through the algorithm's EpochConcurrent capability:
+//     EpochOrdered(lastReader, s) promises that the writer-side Precedes
+//     the stamp holder proved would still answer true for s, so the
+//     writer query is skipped (counted as an epoch hit) and the word is
+//     appended/re-stamped race-free. This is FastTrack's adaptive
+//     read-epoch observation carried over to strand ids: repeated
+//     cross-generation reads of shared data, the dominant pattern in
+//     future-parallel code, cost ~0 reachability queries instead of one
+//     per (word, strand, generation).
+//
 //   - The last (writer-strand → current-strand) reachability verdict is
 //     memoized: consecutive words written by the same predecessor strand
 //     pay one Precedes call, not one per word. The memo is keyed by the
@@ -61,6 +81,7 @@ package shadow
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"futurerd/internal/core"
 	"futurerd/internal/faultinject"
@@ -86,27 +107,34 @@ const dirMask = dirSize - 1
 const maxDirs = 1 << 20
 
 // word is the shadow state of one address: the last writer, the first
-// reader since that write, and the read-shared summary (the most recent
-// race-free reader and the construct generation it was proven at) — 16
-// pointer-free bytes. Keeping pages free of pointers matters as much as
-// the lookup structure: a page allocates in a noscan span, so the garbage
-// collector never walks shadow memory, and first-touch zeroing clears 64KB
-// instead of a pointer-scanned multiple. The uncommon case of several
-// distinct readers between two writes spills to History.spill, flagged by
+// reader since that write, and the carried-forward read-epoch stamp (the
+// most recent race-free reader) — 12 pointer-free bytes. Keeping pages
+// free of pointers matters as much as the lookup structure: a page
+// allocates in a noscan span, so the garbage collector never walks shadow
+// memory, and first-touch zeroing clears 48KB instead of a pointer-scanned
+// multiple. The uncommon case of several distinct readers between two
+// writes spills to History.spill (the inflated state), flagged by
 // spillFlag in reader0.
 //
-// The summary invariant: (lastReader, readGen) is non-zero only if
-// lastReader completed a race-free read of this word at generation readGen
-// and no write has touched the word since (installWriter clears the
-// summary). readGen stores the low 32 bits of Ctx.Gen; Ctx disables the
-// summary entirely for generations ≥ 2^32 (see Ctx.readEpochs), so a
-// truncated stamp can never alias across the wrap.
+// The stamp invariant: lastReader is non-zero only if it completed a
+// race-free read of this word — meaning the word's writer at that moment
+// was proven to precede it — and no write has touched the word since
+// (installWriter clears the stamp). The stamp carries no generation: it
+// stays consultable across construct generations, and verdict transfer to
+// a different current reader goes through the algorithm's EpochOrdered
+// check (see readWordSlow).
 type word struct {
 	lastWriter core.StrandID
 	reader0    core.StrandID
 	lastReader core.StrandID
-	readGen    uint32
 }
+
+// WordBytes is the resident footprint of one shadow word; the benchmark
+// harness multiplies it by the touched-page word count to report shadow
+// bytes. The blank array below fails to compile if the word layout drifts.
+const WordBytes = 12
+
+var _ [1]struct{} = [unsafe.Sizeof(word{}) - WordBytes + 1]struct{}{}
 
 // spillFlag marks a word whose reader list continues in History.spill.
 // It occupies the top bit of reader0, which caps strand ids at 2^31-1 —
@@ -179,6 +207,14 @@ type History struct {
 	memoSrc core.StrandID
 	memoOK  bool
 
+	// Memoized epoch-transfer verdict for EpochOrdered(epochSrc, epochCur)
+	// at generation epochGen — same single-entry regime as the precedes
+	// memo: bulk re-reads revisit one stamp holder for long runs of words.
+	epochGen uint64
+	epochCur core.StrandID
+	epochSrc core.StrandID
+	epochOK  bool
+
 	// Counters for the benchmark harness. touchedPages is incremented
 	// atomically on the parallel path (workers materialize their own
 	// pages); everything else is either serial or aggregated from
@@ -191,6 +227,9 @@ type History struct {
 	ownedSkips      uint64
 	readSharedSkips uint64
 	memoHits        uint64
+	epochHits       uint64 // reads resolved by stamp verdict transfer
+	epochInflations uint64 // single-reader → inflated (first spill) transitions
+	epochDeflations uint64 // inflated → flushed (write install) transitions
 	parRanges       uint64 // range ops that actually fanned out
 	parChunks       uint64 // chunks processed across all fan-outs
 	touched         uint64 // Touch checksum; keeps the instr config honest
@@ -286,14 +325,16 @@ func (h *History) pageFor(pn uint64) *page {
 }
 
 // ResetBatchCaches invalidates the cross-batch carryover state of the
-// serial range path — the single-entry verdict memo. The engine calls it
-// at every batch boundary so the serial, single-consumer and
-// multi-consumer pipelines answer the same queries from the same caches:
-// a batch always starts with a cold memo, whichever consumer checks it.
-// (The last-page cache is deliberately kept: page-cache hits are a
-// plumbing counter, excluded from cross-configuration equivalence.)
+// serial range path — the single-entry verdict memo and the epoch-transfer
+// memo. The engine calls it at every batch boundary so the serial,
+// single-consumer and multi-consumer pipelines answer the same queries
+// from the same caches: a batch always starts with cold memos, whichever
+// consumer checks it. (The last-page cache is deliberately kept:
+// page-cache hits are a plumbing counter, excluded from
+// cross-configuration equivalence.)
 func (h *History) ResetBatchCaches() {
 	h.memoCur = core.NoStrand
+	h.epochCur = core.NoStrand
 }
 
 func (h *History) wordFor(addr uint64) *word {
@@ -360,9 +401,11 @@ func (h *History) appendReader(w *word, addr uint64, s core.StrandID) {
 	}
 }
 
-// appendSpill records a second or later distinct reader of w's address.
-// The most recent spilled reader deduplicates repeats, bounding growth by
-// the number of reader alternations, as in the inline slot.
+// appendSpill records a second or later distinct reader of w's address —
+// the read-epoch state machine's inflation: genuine read contention grows
+// the single inline slot into the full spill list. The most recent spilled
+// reader deduplicates repeats, bounding growth by the number of reader
+// alternations, as in the inline slot.
 func (h *History) appendSpill(w *word, addr uint64, s core.StrandID) {
 	if w.reader0&spillFlag != 0 {
 		if more := h.spill[addr]; more[len(more)-1] == s {
@@ -370,6 +413,7 @@ func (h *History) appendSpill(w *word, addr uint64, s core.StrandID) {
 		}
 	} else {
 		w.reader0 |= spillFlag
+		h.epochInflations++
 	}
 	if h.spill == nil {
 		h.spill = make(map[uint64][]core.StrandID)
@@ -378,22 +422,23 @@ func (h *History) appendSpill(w *word, addr uint64, s core.StrandID) {
 	h.readerAppends++
 }
 
-// flushReaders empties the reader list of w after a race-free write, along
-// with the read-shared summary (which must not survive a write: its
-// verdict was proven against the previous writer). The spill entry keeps
-// its capacity for the next spill on this word. A word with no readers has
-// no summary either — a race-free read always records its reader — so the
-// early return cannot strand a stale stamp.
+// flushReaders empties the reader list of w after a write install, along
+// with the read-epoch stamp (which must not survive a write: its verdict
+// was proven against the previous writer). An inflated word deflates here
+// — the next race-free read re-enters the single-reader state — with the
+// spill entry keeping its capacity for the next inflation on this word. A
+// word with no readers has no stamp either — a race-free read always
+// records its reader — so the early return cannot strand a stale stamp.
 func (h *History) flushReaders(w *word, addr uint64) {
 	if w.reader0 == core.NoStrand {
 		return
 	}
 	if w.reader0&spillFlag != 0 {
 		h.spill[addr] = h.spill[addr][:0]
+		h.epochDeflations++
 	}
 	w.reader0 = core.NoStrand
 	w.lastReader = core.NoStrand
-	w.readGen = 0
 	h.readerFlushes++
 }
 
@@ -451,20 +496,17 @@ func (h *History) installWriter(w *word, addr uint64, s core.StrandID) {
 type Ctx struct {
 	Reach core.Reach
 	Gen   uint64
+	// Epoch is the algorithm's epoch-transfer capability, or nil when the
+	// algorithm does not offer one (the oracle recorder, the verify
+	// cross-check); nil disables stamp verdict transfer and every
+	// different-reader stamp falls back to the full writer query.
+	Epoch core.EpochConcurrent
 	// OnReadRace/OnWriteRace receive every racing word of a range with
 	// the racer the reference protocol would report and the accessing
 	// strand (so the engine does not track a current strand per access).
 	OnReadRace  func(addr uint64, r Racer, cur core.StrandID)
 	OnWriteRace func(addr uint64, r Racer, cur core.StrandID)
 }
-
-// readEpochs reports whether the read-shared summary may be consulted for
-// this context's generation: the 32-bit per-word stamp can only represent
-// generations below 2^32, so later generations fall back to the full
-// protocol (a run that performs four billion parallel constructs keeps
-// exact detection, just without this fast path). Stamps written before the
-// wrap are then never read, so truncation can never alias.
-func (ctx *Ctx) readEpochs() bool { return ctx.Gen < 1<<32 }
 
 // precedes answers "u is sequentially before the current strand s" through
 // the single-entry verdict memo. ctx.Gen is the engine's construct
@@ -480,6 +522,22 @@ func (h *History) precedes(u, s core.StrandID, ctx *Ctx) bool {
 	return ok
 }
 
+// epochOrdered answers "r's read-epoch stamp transfers its race-free
+// verdict to the current strand s" through the algorithm's EpochConcurrent
+// capability, memoized like precedes: a range whose words were all stamped
+// by the same earlier reader pays one EpochOrdered call.
+func (h *History) epochOrdered(r, s core.StrandID, ctx *Ctx) bool {
+	if ctx.Epoch == nil {
+		return false
+	}
+	if h.epochGen == ctx.Gen && h.epochCur == s && h.epochSrc == r {
+		return h.epochOK
+	}
+	ok := ctx.Epoch.EpochOrdered(r, s)
+	h.epochGen, h.epochCur, h.epochSrc, h.epochOK = ctx.Gen, s, r, ok
+	return ok
+}
+
 // ReadRange processes reads of words consecutive addresses starting at
 // addr by strand s, splitting at page boundaries so the page lookup runs
 // once per page segment. Every racing word is reported through report
@@ -492,18 +550,18 @@ func (h *History) precedes(u, s core.StrandID, ctx *Ctx) bool {
 // write, which stays in the history and is checked first by both Read and
 // Write — so every verdict and every reported racer is unchanged.
 //
-// A read of a word s was the last to read, at the current construct
-// generation, is likewise skipped (the read-shared epoch): s's earlier
-// read already proved the word's writer precedes s under the exact
-// relation still in force, the reader list already records s, and any
-// intervening write would have cleared the stamp — so the protocol would
-// re-derive precisely the state the word is already in.
+// A read of a word s was the last to read is likewise skipped (the
+// read-epoch fast path), in any construct generation: s's earlier read
+// already proved the word's writer precedes s, the reader list already
+// records s, any intervening write would have cleared the stamp — and the
+// engine only keeps a strand current across generation bumps at empty
+// syncs, which mutate nothing, so the proven verdict is still in force.
+// The protocol would re-derive precisely the state the word is already in.
 func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 	if words <= 0 {
 		return
 	}
 	h.reads += uint64(words)
-	g32, epochs := uint32(ctx.Gen), ctx.readEpochs()
 	if words == 1 {
 		// One-word accesses (Array/Var Get) skip the segment machinery.
 		pn := addr >> PageBits
@@ -517,8 +575,8 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 		switch {
 		case w.lastWriter == s:
 			h.ownedSkips++ // epoch fast path: s reads its own last write
-		case epochs && w.lastReader == s && w.readGen == g32:
-			h.readSharedSkips++ // read-shared epoch: proven this generation
+		case w.lastReader == s:
+			h.readSharedSkips++ // read epoch: s's own stamp, still proven
 		default:
 			h.readWordSlow(w, addr, s, ctx)
 		}
@@ -543,8 +601,8 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 			switch {
 			case w.lastWriter == s:
 				h.ownedSkips++ // epoch fast path: s reads its own last write
-			case epochs && w.lastReader == s && w.readGen == g32:
-				h.readSharedSkips++ // read-shared epoch: proven this generation
+			case w.lastReader == s:
+				h.readSharedSkips++ // read epoch: s's own stamp, still proven
 			default:
 				h.readWordSlow(w, addr+uint64(i), s, ctx)
 			}
@@ -558,15 +616,23 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 }
 
 // readWordSlow runs the read protocol for a word s does not own (the
-// owned-word and read-shared fast paths are inlined at the call sites). A
-// race-free completion stamps the read-shared summary so the next re-read
-// by s at this generation skips the protocol.
+// owned-word and same-reader epoch fast paths are inlined at the call
+// sites). If a different reader's stamp is present and the algorithm's
+// EpochOrdered transfers its verdict to s, the writer query is skipped —
+// the stamped reader already proved the (unchanged-since) writer precedes
+// it, and the transfer promises the same verdict holds for s. Either way a
+// race-free completion appends s to the reader list and re-stamps, so the
+// word's racer-identity state matches the reference protocol exactly.
 func (h *History) readWordSlow(w *word, addr uint64, s core.StrandID, ctx *Ctx) {
-	if w.lastWriter != core.NoStrand && !h.precedes(w.lastWriter, s, ctx) {
-		ctx.OnReadRace(addr, Racer{Prev: w.lastWriter, PrevWrite: true}, s)
-		return // racy read is not appended (reference protocol), not stamped
+	if w.lastWriter != core.NoStrand {
+		if r := w.lastReader; r != core.NoStrand && h.epochOrdered(r, s, ctx) {
+			h.epochHits++ // stamp verdict transfer: no writer query
+		} else if !h.precedes(w.lastWriter, s, ctx) {
+			ctx.OnReadRace(addr, Racer{Prev: w.lastWriter, PrevWrite: true}, s)
+			return // racy read is not appended (reference protocol), not stamped
+		}
 	}
-	w.lastReader, w.readGen = s, uint32(ctx.Gen)
+	w.lastReader = s
 	if w.reader0 == core.NoStrand {
 		w.reader0 = s
 		h.readerAppends++
@@ -681,23 +747,40 @@ type Stats struct {
 	// OwnedSkips counts accesses short-circuited by the epoch-style
 	// ownership fast path (no protocol run, no reachability query).
 	OwnedSkips uint64
-	// ReadSharedSkips counts reads short-circuited by the read-shared
-	// epoch: the strand re-read a word it was the last to read at the
-	// current construct generation, so the proven verdict was reused and
-	// no protocol ran. Disjoint from OwnedSkips (an access is counted by
-	// at most one skip counter).
+	// ReadSharedSkips counts reads short-circuited by the read-epoch fast
+	// path: the strand re-read a word it was the last to read, so the
+	// proven verdict was reused and no protocol ran. Disjoint from
+	// OwnedSkips (an access is counted by at most one skip counter).
 	ReadSharedSkips uint64
 	// MemoHits counts reachability queries answered by the memoized
 	// last-verdict cache instead of the reachability structure.
 	MemoHits uint64
+	// EpochHits counts reads of a stamped word by a different strand whose
+	// writer query was skipped because the algorithm's EpochOrdered
+	// transferred the stamp holder's race-free verdict to the reader.
+	EpochHits uint64
+	// EpochInflations counts single-reader → inflated transitions (a
+	// word's reader list outgrowing the inline slot into the spill list);
+	// EpochDeflations counts the inverse (a write install flushing an
+	// inflated word back toward the single-reader state).
+	EpochInflations uint64
+	EpochDeflations uint64
+	// SpillEntries is the number of reader entries held in the spill table
+	// at the time Stats was taken — the live footprint of inflated words.
+	SpillEntries uint64
 	// ParRanges counts range operations that fanned out across the worker
 	// pool; ParChunks counts the chunks processed across all fan-outs.
 	ParRanges uint64
 	ParChunks uint64
 }
 
-// Stats returns the history's counters.
+// Stats returns the history's counters. Called on a quiescent history
+// (after the run, or between accesses), so the spill walk needs no lock.
 func (h *History) Stats() Stats {
+	var spillEntries uint64
+	for _, more := range h.spill {
+		spillEntries += uint64(len(more))
+	}
 	return Stats{
 		Reads: h.reads, Writes: h.writes,
 		ReaderAppends:   h.readerAppends,
@@ -707,6 +790,10 @@ func (h *History) Stats() Stats {
 		OwnedSkips:      h.ownedSkips,
 		ReadSharedSkips: h.readSharedSkips,
 		MemoHits:        h.memoHits,
+		EpochHits:       h.epochHits,
+		EpochInflations: h.epochInflations,
+		EpochDeflations: h.epochDeflations,
+		SpillEntries:    spillEntries,
 		ParRanges:       h.parRanges,
 		ParChunks:       h.parChunks,
 	}

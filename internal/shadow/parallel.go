@@ -160,6 +160,11 @@ type chunkState struct {
 	memoSrc   core.StrandID
 	memoOK    bool
 
+	// Epoch-transfer memo, same degenerate key (the stamp holder).
+	epochValid bool
+	epochSrc   core.StrandID
+	epochOK    bool
+
 	events []parEvent
 
 	// Worker-local counters, folded into the History after the join.
@@ -170,6 +175,9 @@ type chunkState struct {
 	ownedSkips      uint64
 	readSharedSkips uint64
 	memoHits        uint64
+	epochHits       uint64
+	epochInflations uint64
+	epochDeflations uint64
 	parRanges       uint64
 	parChunks       uint64
 	touched         uint64
@@ -186,6 +194,9 @@ func (c *chunkState) addCounters(o *chunkState) {
 	c.ownedSkips += o.ownedSkips
 	c.readSharedSkips += o.readSharedSkips
 	c.memoHits += o.memoHits
+	c.epochHits += o.epochHits
+	c.epochInflations += o.epochInflations
+	c.epochDeflations += o.epochDeflations
 	c.parRanges += o.parRanges
 	c.parChunks += o.parChunks
 	c.touched += o.touched
@@ -198,6 +209,18 @@ func (c *chunkState) precedes(u core.StrandID) bool {
 	}
 	ok := c.ctx.Reach.Precedes(u, c.s)
 	c.memoValid, c.memoSrc, c.memoOK = true, u, ok
+	return ok
+}
+
+func (c *chunkState) epochOrdered(r core.StrandID) bool {
+	if c.ctx.Epoch == nil {
+		return false
+	}
+	if c.epochValid && c.epochSrc == r {
+		return c.epochOK
+	}
+	ok := c.ctx.Epoch.EpochOrdered(r, c.s)
+	c.epochValid, c.epochSrc, c.epochOK = true, r, ok
 	return ok
 }
 
@@ -216,7 +239,6 @@ func (c *chunkState) pageAt(pn uint64) *page {
 // per-word stamps are worker-exclusive like the words themselves.
 func (c *chunkState) readRange(addr uint64, words int) {
 	c.reads += uint64(words)
-	g32, epochs := uint32(c.ctx.Gen), c.ctx.readEpochs()
 	for {
 		slot := int(addr & pageMask)
 		n := pageSize - slot
@@ -229,8 +251,8 @@ func (c *chunkState) readRange(addr uint64, words int) {
 			switch {
 			case w.lastWriter == c.s:
 				c.ownedSkips++ // epoch fast path: s reads its own last write
-			case epochs && w.lastReader == c.s && w.readGen == g32:
-				c.readSharedSkips++ // read-shared epoch: proven this generation
+			case w.lastReader == c.s:
+				c.readSharedSkips++ // read epoch: s's own stamp, still proven
 			default:
 				c.readWordSlow(w, addr+uint64(i))
 			}
@@ -246,11 +268,15 @@ func (c *chunkState) readRange(addr uint64, words int) {
 // readWordSlow mirrors History.readWordSlow with worker-local memo and
 // counters and a locked spill path.
 func (c *chunkState) readWordSlow(w *word, addr uint64) {
-	if w.lastWriter != core.NoStrand && !c.precedes(w.lastWriter) {
-		c.events = append(c.events, parEvent{addr, Racer{Prev: w.lastWriter, PrevWrite: true}})
-		return // racy read is not appended (reference protocol), not stamped
+	if w.lastWriter != core.NoStrand {
+		if r := w.lastReader; r != core.NoStrand && c.epochOrdered(r) {
+			c.epochHits++ // stamp verdict transfer: no writer query
+		} else if !c.precedes(w.lastWriter) {
+			c.events = append(c.events, parEvent{addr, Racer{Prev: w.lastWriter, PrevWrite: true}})
+			return // racy read is not appended (reference protocol), not stamped
+		}
 	}
-	w.lastReader, w.readGen = c.s, uint32(c.ctx.Gen)
+	w.lastReader = c.s
 	if w.reader0 == core.NoStrand {
 		w.reader0 = c.s
 		c.readerAppends++
@@ -274,6 +300,7 @@ func (c *chunkState) appendSpill(w *word, addr uint64) {
 		}
 	} else {
 		w.reader0 |= spillFlag
+		c.epochInflations++
 	}
 	if h.spill == nil {
 		h.spill = make(map[uint64][]core.StrandID)
@@ -338,18 +365,18 @@ func (c *chunkState) writeSlow(w *word, addr uint64) {
 }
 
 // installWriter mirrors History.installWriter with a locked spill flush;
-// the read-shared summary dies with the reader list (its verdict was
-// proven against the previous writer).
+// the read-epoch stamp dies with the reader list (its verdict was proven
+// against the previous writer), and an inflated word deflates.
 func (c *chunkState) installWriter(w *word, addr uint64) {
 	if w.reader0 != core.NoStrand {
 		if w.reader0&spillFlag != 0 {
 			c.h.spillMu.Lock()
 			c.h.spill[addr] = c.h.spill[addr][:0]
 			c.h.spillMu.Unlock()
+			c.epochDeflations++
 		}
 		w.reader0 = core.NoStrand
 		w.lastReader = core.NoStrand
-		w.readGen = 0
 		c.readerFlushes++
 	}
 	w.lastWriter = c.s
@@ -529,6 +556,9 @@ func (h *History) foldInto(cs *chunkState) {
 	h.ownedSkips += cs.ownedSkips
 	h.readSharedSkips += cs.readSharedSkips
 	h.memoHits += cs.memoHits
+	h.epochHits += cs.epochHits
+	h.epochInflations += cs.epochInflations
+	h.epochDeflations += cs.epochDeflations
 	h.parRanges += cs.parRanges
 	h.parChunks += cs.parChunks
 	h.touched += cs.touched

@@ -106,13 +106,14 @@ func (h *History) auditRelease(id int) {
 }
 
 // Begin prepares the view for one batch: cold page cache, cold verdict
-// memo, empty buffers. ctx must carry the batch's construct generation
-// and the run's reachability structure; its race sinks are unused (events
-// are buffered and returned by Events).
+// and epoch memos, empty buffers. ctx must carry the batch's construct
+// generation and the run's reachability structure; its race sinks are
+// unused (events are buffered and returned by Events).
 func (v *View) Begin(ctx *Ctx, s core.StrandID) {
 	v.cs.ctx, v.cs.s = ctx, s
 	v.cs.lastPage = nil
 	v.cs.memoValid = false
+	v.cs.epochValid = false
 	v.cs.events = v.cs.events[:0]
 	v.events = v.events[:0]
 	v.claims = v.claims[:0]

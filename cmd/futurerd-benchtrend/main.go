@@ -13,6 +13,10 @@
 // event.stolen) are the one exception: they are gated at zero for
 // serial documents but skipped when the documents were measured with a
 // consumer pool, where goroutine timing decides their values.
+// The two documents must also agree on the algorithm set: a table family
+// (fig6, fig7, vc, ...) present on one side only is a named hard failure,
+// not a silent row skip — adding a back-end without regenerating the
+// baseline would otherwise pass the gate with the new rows unchecked.
 // Intentional changes regenerate the baseline in the same commit:
 //
 //	go run ./cmd/futurerd-bench -json -size test -iters 1 > BENCH_baseline.json
@@ -32,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"futurerd/internal/bench"
 )
@@ -68,6 +74,10 @@ func counterRow(m *bench.Measurement) map[string]uint64 {
 		"reach.unions":      s.Reach.Unions,
 		"reach.attached":    s.Reach.AttachedSets,
 		"reach.rarcs":       s.Reach.RArcs,
+		"reach.clockcmps":   s.Reach.ClockCompares,
+		"reach.clockinfl":   s.Reach.ClockInflations,
+		"reach.clockbytes":  s.Reach.ClockBytes,
+		"reach.clockwidth":  s.Reach.ClockWidth,
 		"shadow.reads":      s.Shadow.Reads,
 		"shadow.writes":     s.Shadow.Writes,
 		"shadow.appends":    s.Shadow.ReaderAppends,
@@ -106,6 +116,42 @@ func key(m *bench.Measurement) string {
 	return m.Figure + "/" + m.Bench + "/" + m.Config
 }
 
+// figureSetDiff compares the algorithm/table families (Measurement.Figure)
+// present in the two documents and describes the asymmetric difference,
+// naming each missing family and the side that lacks it. Empty when the
+// sets agree.
+func figureSetDiff(base, cur *bench.JSONReport) string {
+	figs := func(r *bench.JSONReport) map[string]bool {
+		set := make(map[string]bool)
+		for i := range r.Measurements {
+			set[r.Measurements[i].Figure] = true
+		}
+		return set
+	}
+	bf, cf := figs(base), figs(cur)
+	var missBase, missCur []string
+	for f := range cf {
+		if !bf[f] {
+			missBase = append(missBase, f)
+		}
+	}
+	for f := range bf {
+		if !cf[f] {
+			missCur = append(missCur, f)
+		}
+	}
+	sort.Strings(missBase)
+	sort.Strings(missCur)
+	var parts []string
+	if len(missBase) > 0 {
+		parts = append(parts, fmt.Sprintf("baseline lacks %v", missBase))
+	}
+	if len(missCur) > 0 {
+		parts = append(parts, fmt.Sprintf("current run lacks %v", missCur))
+	}
+	return strings.Join(parts, "; ")
+}
+
 func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline document")
 	curPath := flag.String("current", "BENCH_detect.json", "freshly measured document")
@@ -132,6 +178,21 @@ func main() {
 	baseBy := make(map[string]*bench.Measurement, len(base.Measurements))
 	for i := range base.Measurements {
 		baseBy[key(&base.Measurements[i])] = &base.Measurements[i]
+	}
+
+	// The two documents must agree on the algorithm/table set (the Figure
+	// field names the algorithm family: fig6 = multibags, fig7 =
+	// multibags+, vc = vector clocks, ...). A family present on one side
+	// only would otherwise degrade to a silent row skip (baseline-only) or
+	// an informational NEW flood (current-only), and the gate would pass
+	// while covering nothing of the new back-end — so it is a named, hard
+	// failure pointing at the regeneration command instead.
+	if miss := figureSetDiff(base, cur); miss != "" {
+		fmt.Fprintf(os.Stderr, "algorithm set mismatch: %s\n"+
+			"regenerate the baseline in the same commit:\n"+
+			"  go run ./cmd/futurerd-bench -json -size %s -iters 1 > %s\n",
+			miss, cur.Size, *basePath)
+		os.Exit(1)
 	}
 
 	fails, news, checked := 0, 0, 0

@@ -2,7 +2,7 @@
 // traces, in four subcommands:
 //
 //	futurerd-trace run    -bench lcs [-variant structured|general]
-//	                      [-mode multibags|multibags+|spbags|oracle]
+//	                      [-mode multibags|multibags+|spbags|oracle|vc]
 //	                      [-size test|quick|bench] [-mem off|instr|full]
 //	                      [-workers n] [-consumers n] [-dot]
 //	futurerd-trace record -bench lcs [-variant ...] [-size ...]
@@ -71,6 +71,8 @@ func parseMode(s string) futurerd.Mode {
 		return futurerd.ModeSPBags
 	case "oracle":
 		return futurerd.ModeOracle
+	case "vc":
+		return futurerd.ModeVectorClocks
 	}
 	fmt.Fprintf(os.Stderr, "unknown -mode %q\n", s)
 	os.Exit(2)
@@ -140,6 +142,12 @@ func printReport(rep *futurerd.Report, ml futurerd.MemLevel) {
 		fmt.Printf("sync cases      neither=%d both=%d mixed=%d\n",
 			s.Reach.SyncNeither, s.Reach.SyncBoth, s.Reach.SyncMixed)
 	}
+	if s.Reach.ClockCompares > 0 {
+		fmt.Printf("clock compares  %d\n", s.Reach.ClockCompares)
+		fmt.Printf("clock inflates  %d (%.1f KiB)\n",
+			s.Reach.ClockInflations, float64(s.Reach.ClockBytes)/1024)
+		fmt.Printf("clock width     %d columns\n", s.Reach.ClockWidth)
+	}
 	if ml != futurerd.MemOff {
 		fmt.Printf("shadow reads    %d\n", s.Shadow.Reads)
 		fmt.Printf("shadow writes   %d\n", s.Shadow.Writes)
@@ -172,7 +180,7 @@ func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	benchName := fs.String("bench", "lcs", "benchmark: lcs, sw, mm, heartwall, dedup, bst")
 	variant := fs.String("variant", "structured", "workload variant: structured, general")
-	mode := fs.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle")
+	mode := fs.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle, vc")
 	size := parseSize(fs)
 	mem := fs.String("mem", "full", "memory level: off, instr, full")
 	workers := fs.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
@@ -245,7 +253,7 @@ func cmdRecord(args []string) {
 func cmdReplay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file (required)")
-	mode := fs.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle")
+	mode := fs.String("mode", "multibags+", "algorithm: multibags, multibags+, spbags, oracle, vc")
 	mem := fs.String("mem", "full", "memory level: off, instr, full")
 	workers := fs.Int("workers", 0, "shadow range worker pool width (<=1 serial)")
 	consumers := fs.Int("consumers", 0, "detection consumer pool width (<=1 single consumer)")

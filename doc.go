@@ -34,6 +34,12 @@
 //     Runs in O(T1·α(m,n)).
 //   - MultiBags+ (§5): for arbitrary (multi-touch, escaping) futures.
 //     Runs in O((T1+k²)·α(m,n)) for k Get operations.
+//   - VectorClocks: a FastTrack-style alternative for arbitrary futures —
+//     per-strand vector clocks joined at spawn/sync/get, so Precedes is a
+//     single epoch/clock comparison with no bag probes and no R-closure
+//     growth. An epoch-fast representation inflates to a full clock only
+//     on real fan-in, and clock columns are recycled so clock width
+//     tracks live parallelism. Race- and verdict-identical to MultiBags+.
 //   - SP-Bags: the classic fork-join detector, provided as a baseline
 //     (unsound when futures are used).
 //   - Oracle: brute-force dag reachability, for tests.
@@ -131,8 +137,8 @@
 // CAS-based, and page materialization is striped by page number. Race
 // reports are identical, in content and order, to a serial run; Workers
 // <= 1 (the default) keeps every access on the exact serial path. The
-// pool engages for SP-Bags, MultiBags and MultiBags+; oracle and Verify
-// runs always stay serial. Config.WorkerChunk tunes the chunk granule.
+// pool engages for SP-Bags, MultiBags, MultiBags+ and VectorClocks;
+// oracle and Verify runs always stay serial. Config.WorkerChunk tunes the chunk granule.
 // Workers composes with Consumers: Workers parallelizes within one bulk
 // range, Consumers across independent batches, and both share one worker
 // pool.

@@ -386,6 +386,18 @@ func Fig7(opts Options) (*Table, []Measurement, error) {
 		func(b workloads.Benchmark) func() workloads.Instance { return b.General })
 }
 
+// FigVC runs the Figure 7 grid (general-future variants) under the
+// vector-clock back-end. Verdicts and shadow counters are identical to
+// Fig7 row for row — the progen equivalence suite enforces it — so the
+// table isolates the cost-model difference: clock compares instead of
+// bag probes, with zero R-closure growth.
+func FigVC(opts Options) (*Table, []Measurement, error) {
+	return figure(opts, "vc",
+		"Vector clocks: general futures + VC back-end (clock-compare Precedes)",
+		futurerd.ModeVectorClocks,
+		func(b workloads.Benchmark) func() workloads.Instance { return b.General })
+}
+
 // FigReplay measures trace-replay throughput over the committed trace
 // corpus (one v2 trace per paper workload, recorded at test size): each
 // trace is decoded and driven through full MultiBags+ detection with

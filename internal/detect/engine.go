@@ -221,6 +221,8 @@ func NewEngine(cfg Config) *Engine {
 		e.reach = core.NewMultiBags(e.st)
 	case ModeMultiBagsPlus:
 		e.reach = core.NewMultiBagsPlus(e.st)
+	case ModeVectorClocks:
+		e.reach = core.NewVectorClocks(e.st)
 	case ModeOracle:
 		e.reach = graph.NewRecorder(e.st)
 	default:

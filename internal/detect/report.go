@@ -28,6 +28,11 @@ const (
 	// ModeOracle records the full computation dag and answers queries by
 	// graph search. Slow; intended for tests and cross-validation.
 	ModeOracle
+	// ModeVectorClocks uses the FastTrack-style vector-clock back-end:
+	// Precedes is one epoch/clock comparison, with no bag probes and no
+	// R-closure maintenance. Exact on the same program class as
+	// MultiBags+ (all forward-pointing futures).
+	ModeVectorClocks
 )
 
 // String returns the mode name.
@@ -43,6 +48,8 @@ func (m Mode) String() string {
 		return "multibags+"
 	case ModeOracle:
 		return "oracle"
+	case ModeVectorClocks:
+		return "vc"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}

@@ -197,6 +197,55 @@ func epochOne(t *testing.T, seed uint64, opts Options, mode detect.Mode) uint64 
 	return hits
 }
 
+// vcOne is the vector-clock differential on one generated program: the
+// vc back-end must be verdict- and race-order-identical to MultiBags+ —
+// same races in the same order, same shadow protocol counters (including
+// epoch transfers: both EpochOrdered implementations are exact, so they
+// must skip the same re-reads), same query count — while resolving every
+// query as a clock comparison: ClockCompares > 0 and every bag-probe
+// counter exactly zero.
+func vcOne(t *testing.T, seed uint64, opts Options) {
+	t.Helper()
+	p := Generate(seed, opts)
+	mbp := detect.NewEngine(detect.Config{
+		Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull, MaxRaces: 1 << 20,
+	}).Run(p.Run)
+	vc := detect.NewEngine(detect.Config{
+		Mode: detect.ModeVectorClocks, Mem: detect.MemFull, MaxRaces: 1 << 20,
+	}).Run(p.Run)
+	if mbp.Err != nil || vc.Err != nil {
+		t.Fatalf("seed %d: multibags+ err %v, vc err %v\n%s", seed, mbp.Err, vc.Err, p)
+	}
+	if len(mbp.Races) != len(vc.Races) || mbp.Stats.RaceCount != vc.Stats.RaceCount {
+		t.Fatalf("seed %d: vc found %d races (%d observations), multibags+ %d (%d)\n%s",
+			seed, len(vc.Races), vc.Stats.RaceCount,
+			len(mbp.Races), mbp.Stats.RaceCount, p)
+	}
+	for i := range mbp.Races {
+		if mbp.Races[i] != vc.Races[i] {
+			t.Fatalf("seed %d: race %d differs: vc %v, multibags+ %v\n%s",
+				seed, i, vc.Races[i], mbp.Races[i], p)
+		}
+	}
+	if mbp.Stats.Shadow != vc.Stats.Shadow {
+		t.Fatalf("seed %d: shadow counters diverge\nmultibags+ %+v\nvc         %+v\n%s",
+			seed, mbp.Stats.Shadow, vc.Stats.Shadow, p)
+	}
+	mr, vr := mbp.Stats.Reach, vc.Stats.Reach
+	if mr.Queries != vr.Queries {
+		t.Fatalf("seed %d: vc made %d queries, multibags+ %d\n%s",
+			seed, vr.Queries, mr.Queries, p)
+	}
+	if vr.Finds != 0 || vr.Unions != 0 || vr.AttachedSets != 0 ||
+		vr.RArcs != 0 || vr.RCloseWords != 0 {
+		t.Fatalf("seed %d: vc run took bag probes: %+v\n%s", seed, vr, p)
+	}
+	if vr.Queries > 0 && vr.ClockCompares == 0 {
+		t.Fatalf("seed %d: vc answered %d queries with 0 clock compares\n%s",
+			seed, vr.Queries, p)
+	}
+}
+
 // replayOne asserts the record→replay→detect equivalence on one
 // generated program: recording its trace and replaying it must reproduce
 // the direct run's report — same races in the same order, same structure
@@ -210,6 +259,7 @@ func replayOne(t *testing.T, seed uint64, opts Options) {
 	}
 	for _, mode := range []detect.Mode{
 		detect.ModeSPBags, detect.ModeMultiBags, detect.ModeMultiBagsPlus,
+		detect.ModeVectorClocks,
 	} {
 		for _, workers := range []int{1, 4} {
 			cfg := detect.Config{
@@ -265,8 +315,11 @@ func FuzzGeneralPrograms(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		opts := Options{Dialect: General, MaxStmts: 60}
 		fuzzOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		fuzzOne(t, seed, opts, detect.ModeVectorClocks)
+		vcOne(t, seed, opts)
 		parallelOne(t, seed, opts, detect.ModeMultiBagsPlus)
 		consumersOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		consumersOne(t, seed, opts, detect.ModeVectorClocks)
 		spread := opts
 		spread.PageSpread = true
 		fuzzOne(t, seed, spread, detect.ModeMultiBagsPlus)
@@ -283,6 +336,7 @@ func FuzzStructuredPrograms(f *testing.F) {
 		opts := Options{Dialect: Structured, MaxStmts: 60}
 		fuzzOne(t, seed, opts, detect.ModeMultiBags)
 		fuzzOne(t, seed, opts, detect.ModeMultiBagsPlus)
+		fuzzOne(t, seed, opts, detect.ModeVectorClocks)
 		parallelOne(t, seed, opts, detect.ModeMultiBags)
 		consumersOne(t, seed, opts, detect.ModeMultiBags)
 		spread := opts
@@ -308,7 +362,9 @@ func FuzzReadSharedPrograms(f *testing.F) {
 		gen := Options{Dialect: General, MaxStmts: 60, Locs: 5, ReadHeavy: true}
 		str := Options{Dialect: Structured, MaxStmts: 60, Locs: 5, ReadHeavy: true}
 		fuzzOne(t, seed, gen, detect.ModeMultiBagsPlus)
+		fuzzOne(t, seed, gen, detect.ModeVectorClocks)
 		fuzzOne(t, seed, str, detect.ModeMultiBags)
+		vcOne(t, seed, gen)
 		parallelOne(t, seed, gen, detect.ModeMultiBagsPlus)
 		replayOne(t, seed, gen)
 		// Cross-generation arm: construct-dense read-heavy programs bump
@@ -320,8 +376,11 @@ func FuzzReadSharedPrograms(f *testing.F) {
 		denseStr := str
 		denseStr.ConstructDense = true
 		fuzzOne(t, seed, dense, detect.ModeMultiBagsPlus)
+		fuzzOne(t, seed, dense, detect.ModeVectorClocks)
 		fuzzOne(t, seed, denseStr, detect.ModeMultiBags)
+		vcOne(t, seed, dense)
 		epochOne(t, seed, dense, detect.ModeMultiBagsPlus)
+		epochOne(t, seed, dense, detect.ModeVectorClocks)
 		epochOne(t, seed, denseStr, detect.ModeMultiBags)
 		replayOne(t, seed, dense)
 	})
@@ -423,9 +482,87 @@ func TestEpochCrossGenSeeds(t *testing.T) {
 	var hits uint64
 	for seed := uint64(0); seed < 25; seed++ {
 		hits += epochOne(t, seed, gen, detect.ModeMultiBagsPlus)
+		hits += epochOne(t, seed, gen, detect.ModeVectorClocks)
 		hits += epochOne(t, seed, str, detect.ModeMultiBags)
 	}
 	if hits == 0 {
 		t.Fatal("construct-dense sweep never transferred a stamped verdict across generations")
+	}
+}
+
+// TestVectorClockEquivalence is the vector-clock back-end's acceptance
+// sweep: across Workers ∈ {1,4} × Consumers ∈ {1,4} and all three progen
+// shapes (general, structured, construct-dense read-heavy), vc must
+// deep-equal MultiBags+ on races (content and order), violations and the
+// verdict counters — while taking clock compares and exactly zero bag
+// probes. The serial vcOne differential runs first so a divergence
+// blames the algorithm before the scheduler.
+func TestVectorClockEquivalence(t *testing.T) {
+	shapes := []Options{
+		{Dialect: General, MaxStmts: 60},
+		{Dialect: Structured, MaxStmts: 60},
+		{Dialect: General, MaxStmts: 60, Locs: 5, ReadHeavy: true, ConstructDense: true},
+	}
+	var compares uint64
+	for seed := uint64(0); seed < 21; seed++ {
+		for _, opts := range shapes {
+			vcOne(t, seed, opts)
+			p := Generate(seed, opts)
+			for _, consumers := range []int{1, 4} {
+				for _, workers := range []int{1, 4} {
+					mbp := detect.NewEngine(detect.Config{
+						Mode: detect.ModeMultiBagsPlus, Mem: detect.MemFull, MaxRaces: 1 << 20,
+						Consumers: consumers, Workers: workers,
+					}).Run(p.Run)
+					vc := detect.NewEngine(detect.Config{
+						Mode: detect.ModeVectorClocks, Mem: detect.MemFull, MaxRaces: 1 << 20,
+						Consumers: consumers, Workers: workers,
+					}).Run(p.Run)
+					if mbp.Err != nil || vc.Err != nil {
+						t.Fatalf("seed %d [c=%d w=%d]: multibags+ err %v, vc err %v\n%s",
+							seed, consumers, workers, mbp.Err, vc.Err, p)
+					}
+					if len(mbp.Races) != len(vc.Races) {
+						t.Fatalf("seed %d [c=%d w=%d]: vc %d races, multibags+ %d\n%s",
+							seed, consumers, workers, len(vc.Races), len(mbp.Races), p)
+					}
+					for i := range mbp.Races {
+						if mbp.Races[i] != vc.Races[i] {
+							t.Fatalf("seed %d [c=%d w=%d]: race %d differs: vc %v, multibags+ %v\n%s",
+								seed, consumers, workers, i, vc.Races[i], mbp.Races[i], p)
+						}
+					}
+					if len(mbp.Violations) != len(vc.Violations) {
+						t.Fatalf("seed %d [c=%d w=%d]: vc %d violations, multibags+ %d\n%s",
+							seed, consumers, workers, len(vc.Violations), len(mbp.Violations), p)
+					}
+					for i := range mbp.Violations {
+						if mbp.Violations[i] != vc.Violations[i] {
+							t.Fatalf("seed %d [c=%d w=%d]: violation %d differs: vc %v, multibags+ %v\n%s",
+								seed, consumers, workers, i, vc.Violations[i], mbp.Violations[i], p)
+						}
+					}
+					ms, vs := mbp.Stats.Shadow, vc.Stats.Shadow
+					if mbp.Stats.RaceCount != vc.Stats.RaceCount ||
+						ms.Reads != vs.Reads || ms.Writes != vs.Writes ||
+						ms.OwnedSkips != vs.OwnedSkips || ms.ReadSharedSkips != vs.ReadSharedSkips ||
+						ms.ReaderAppends != vs.ReaderAppends || ms.ReaderFlushes != vs.ReaderFlushes ||
+						ms.EpochHits != vs.EpochHits {
+						t.Fatalf("seed %d [c=%d w=%d]: verdict counters diverge\nmultibags+ %+v\nvc         %+v\n%s",
+							seed, consumers, workers, ms, vs, p)
+					}
+					vr := vc.Stats.Reach
+					if vr.Finds != 0 || vr.Unions != 0 || vr.AttachedSets != 0 ||
+						vr.RArcs != 0 || vr.RCloseWords != 0 {
+						t.Fatalf("seed %d [c=%d w=%d]: vc run took bag probes: %+v\n%s",
+							seed, consumers, workers, vr, p)
+					}
+					compares += vr.ClockCompares
+				}
+			}
+		}
+	}
+	if compares == 0 {
+		t.Fatal("vector-clock sweep never made a clock comparison")
 	}
 }

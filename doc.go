@@ -66,6 +66,16 @@
 // (Task.ReadRange/WriteRange, Matrix.ReadRow/WriteRow) for contiguous
 // data; they amortize hook dispatch and page lookup over the whole range.
 //
+// Config.Sampling adds an always-on front-end behind those free filters
+// for production-shaped traffic: a deterministic, seed-driven rate
+// admits a fraction of the remaining protocol-bound accesses, and an
+// optional per-page budget (refreshed each construct generation) bounds
+// hot-page cost to O(1) sampled accesses per page per epoch. Unsampled
+// accesses skip only the verdict query — they still install their shadow
+// state — so a sampled run reports a subset of full detection's races,
+// never a superset, and Rate 1.0 is verdict- and counter-identical to
+// full detection. See the Sampling type.
+//
 // # Event pipeline
 //
 // The detection stack is front-ends → batcher → scheduler → consumer

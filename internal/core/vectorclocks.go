@@ -10,10 +10,14 @@ import (
 const noSlot = ^uint32(0)
 
 // compactScan bounds how many entries of the free-slot pool one
-// allocation inspects. The pool is a LIFO stack, so the slots retired by
-// the most recent joins — exactly the ones the next fork has already seen
-// — sit on top, and a short scan keeps sequential spawn/join loops at
-// constant clock width without turning allocation into a pool sweep.
+// allocation inspects in the common case. The pool is a LIFO stack, so
+// the slots retired by the most recent joins — exactly the ones the next
+// fork has already seen — sit on top, and a short scan keeps sequential
+// spawn/join loops at constant clock width without turning allocation
+// into a pool sweep. When the pool is under pressure — minting a fresh
+// slot would keep the live count below its own high-water mark, so a
+// reusable dead column provably exists somewhere in the pool — the scan
+// adaptively deepens to the whole free list instead (see allocSlot).
 const compactScan = 8
 
 // vcStamp is a strand's epoch: its clock column (slot) and its position
@@ -91,10 +95,13 @@ type VectorClocks struct {
 	vecs  ds.PubSlice[[]uint32]
 	nvecs uint32
 
-	// Writer-private compaction state: per-slot chain ticks and the LIFO
-	// pool of retired slots. Queries never read these.
-	slots []slotState
-	free  []uint32
+	// Writer-private compaction state: per-slot chain ticks, the LIFO
+	// pool of retired slots, and the high-water mark of the live slot
+	// count (len(slots) - len(free)) that drives adaptive pool scanning
+	// in allocSlot. Queries never read these.
+	slots  []slotState
+	free   []uint32
+	liveHW int
 
 	queries    uint64 // atomic: Precedes calls
 	compares   uint64 // atomic: epoch/clock comparisons (Precedes + EpochOrdered)
@@ -187,20 +194,39 @@ func (v *VectorClocks) addVec(vec []uint32) uint32 {
 // strand inherits clock C(parent). A retired slot is reusable exactly
 // when its last strand is covered by the new chain's clock — then the
 // slot's whole history stays one happens-before chain and old stamps in
-// it remain comparable. Only the top of the retire stack is scanned
-// (compactScan): sequential spawn/join loops find their just-retired slot
-// there immediately, which is what bounds ClockWidth.
+// it remain comparable. Normally only the top of the retire stack is
+// scanned (compactScan): sequential spawn/join loops find their
+// just-retired slot there immediately, which is what bounds ClockWidth.
+//
+// The scan depth adapts to pool pressure via the live high-water mark:
+// when minting a fresh slot would still leave the live count at or below
+// liveHW, the pool already proved it can serve this much parallelism
+// from len(slots) columns — a dead column exists, it is just buried
+// under retirees the new chain does not cover — so the scan deepens to
+// the whole free list rather than growing every clock vector by a
+// column. Pressure is rare (the LIFO top almost always hits), so the
+// deep scan does not change the common-case cost.
 func (v *VectorClocks) allocSlot(parent *vcRep) uint32 {
 	vecs := v.vecs.W()
-	for i, scanned := len(v.free)-1, 0; i >= 0 && scanned < compactScan; i, scanned = i-1, scanned+1 {
+	depth := compactScan
+	if live := len(v.slots) - len(v.free); live+1 <= v.liveHW {
+		depth = len(v.free)
+	}
+	for i, scanned := len(v.free)-1, 0; i >= 0 && scanned < depth; i, scanned = i-1, scanned+1 {
 		s := v.free[i]
 		if lookup(parent, vecs, s) >= v.slots[s].tick {
 			v.free = append(v.free[:i], v.free[i+1:]...)
 			v.slots[s].freed = false
+			if live := len(v.slots) - len(v.free); live > v.liveHW {
+				v.liveHW = live
+			}
 			return s
 		}
 	}
 	v.slots = append(v.slots, slotState{})
+	if live := len(v.slots) - len(v.free); live > v.liveHW {
+		v.liveHW = live
+	}
 	return uint32(len(v.slots) - 1)
 }
 
@@ -220,6 +246,7 @@ func (v *VectorClocks) retire(slot, tick uint32) {
 func (v *VectorClocks) Init(_ FnID, mainStrand StrandID) {
 	v.fns++
 	v.slots = append(v.slots, slotState{tick: 1})
+	v.liveHW = 1
 	v.setRep(mainStrand, vcRep{own: vcStamp{slot: 0, tick: 1}, auxSlot: noSlot})
 }
 

@@ -122,6 +122,102 @@ func TestClockWidthTracksFanOut(t *testing.T) {
 	}
 }
 
+// TestClockPoolAdapts pins the adaptive free-pool scan: once the live
+// high-water mark proves reusable columns exist, allocation must dig
+// past the fixed compactScan window of the LIFO retire stack rather
+// than mint fresh columns.
+//
+// Phase A forks K children off main and joins them all, leaving K
+// retired slots in the pool (liveHW = K+1). Phase B creates M futures
+// that are never gotten; each future internally spawns and syncs one
+// child of its own. Every sync retires that child's slot onto the pool
+// top — a retiree covered only by its sibling futures, not by the next
+// future main forks — so the next allocation's covered candidates (the
+// phase-A remnants) sink deeper and deeper under incomparable retirees.
+// A fixed scan of compactScan entries would give up and mint once the
+// pile exceeds the window; the pressure trigger (live stays below
+// liveHW) must instead deepen the scan and reuse the phase-A columns,
+// keeping clock width at the phase-A peak. Each phase-B iteration
+// permanently consumes one covered column (the future's, live forever)
+// and converts another into an incomparable retiree (the sub's), so K
+// must exceed 2M for coverage to outlast the sweep — that is the
+// regime where minting is purely a scan-depth failure.
+func TestClockPoolAdapts(t *testing.T) {
+	const (
+		K = 40 // phase-A fan-out: sets the liveHW ceiling and the reusable pool
+		M = 12 // phase-B live futures, each burying the pool under a retiree
+	)
+	st := NewStrandTable(8 * (K + M))
+	st.Add(1, 1)
+	v := NewVectorClocks(st)
+	v.Init(1, 1)
+
+	// Phase A: fan out K children, then join them all.
+	s := StrandID(1)
+	next := StrandID(2)
+	var children []struct {
+		fn          FnID
+		first, cont StrandID
+	}
+	fn := FnID(2)
+	for i := 0; i < K; i++ {
+		child, cont := next, next+1
+		next += 2
+		st.Add(child, fn)
+		st.Add(cont, 1)
+		v.Spawn(SpawnRec{ParentFn: 1, ChildFn: fn, Fork: s, ChildFirst: child, ContFirst: cont})
+		v.Return(ReturnRec{Fn: fn, ParentFn: 1, First: child, Last: child})
+		children = append(children, struct {
+			fn          FnID
+			first, cont StrandID
+		}{fn, child, cont})
+		s = cont
+		fn++
+	}
+	for _, c := range children {
+		join := next
+		next++
+		st.Add(join, 1)
+		v.SyncJoin(JoinRec{Fn: 1, ChildFn: c.fn, Fork: 1, ChildFirst: c.first,
+			ContFirst: s, ChildLast: c.first, ContLast: s, Join: join})
+		s = join
+	}
+	widthA := v.Stats().ClockWidth
+
+	// Phase B: M never-gotten futures; each spawns + syncs one child
+	// internally, piling an incomparable retiree on the pool top.
+	for i := 0; i < M; i++ {
+		futFn, subFn := fn, fn+1
+		fn += 2
+		futFirst, cont := next, next+1
+		next += 2
+		st.Add(futFirst, futFn)
+		st.Add(cont, 1)
+		v.CreateFut(CreateRec{ParentFn: 1, FutFn: futFn, Creator: s, FutFirst: futFirst, ContFirst: cont})
+		sub, futCont, futJoin := next, next+1, next+2
+		next += 3
+		st.Add(sub, subFn)
+		st.Add(futCont, futFn)
+		st.Add(futJoin, futFn)
+		v.Spawn(SpawnRec{ParentFn: futFn, ChildFn: subFn, Fork: futFirst, ChildFirst: sub, ContFirst: futCont})
+		v.Return(ReturnRec{Fn: subFn, ParentFn: futFn, First: sub, Last: sub})
+		v.SyncJoin(JoinRec{Fn: futFn, ChildFn: subFn, Fork: futFirst, ChildFirst: sub,
+			ContFirst: futCont, ContLast: futCont, ChildLast: sub, Join: futJoin})
+		v.Return(ReturnRec{Fn: futFn, ParentFn: 1, First: futFirst, Last: futJoin})
+		s = cont
+	}
+
+	w := v.Stats().ClockWidth
+	if w > widthA {
+		t.Fatalf("clock width grew from %d to %d during phase B; pool pressure "+
+			"(live <= high-water %d) must deepen the scan and reuse phase-A columns "+
+			"instead of minting", widthA, w, K+1)
+	}
+	if w > uint64(K+1) {
+		t.Fatalf("clock width %d; want at most fan-out peak %d", w, K+1)
+	}
+}
+
 // TestVectorClocksCapabilities pins the full concurrency surface: shadow
 // worker fan-out (QueryConcurrent), an all-true pin-safe mutation mask
 // (PinConcurrent — every vc mutation is fold-free), and cross-generation

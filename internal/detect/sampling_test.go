@@ -1,0 +1,84 @@
+package detect
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// racySamplingProg is a tiny program with one definite race (the future's
+// write is parallel with the parent's) plus enough bulk traffic to drive
+// every shadow tier.
+func racySamplingProg(t *Task) {
+	f := t.CreateFut(func(ft *Task) any {
+		ft.Write(7)
+		ft.WriteRange(100, 64)
+		return nil
+	})
+	t.Write(7) // races with the future's write
+	t.GetFut(f)
+	t.ReadRange(100, 64) // ordered after the get: race-free
+}
+
+// TestSamplingConfigRejected pins the fail-closed validation: a malformed
+// Sampling config returns a structured error before any user code runs,
+// for detecting and non-detecting engines alike.
+func TestSamplingConfigRejected(t *testing.T) {
+	bad := []Sampling{
+		{Rate: -0.1},
+		{Rate: 1.5},
+		{Rate: math.NaN()},
+		{Rate: 0.5, Budget: -1},
+	}
+	for _, s := range bad {
+		for _, mode := range []Mode{ModeMultiBags, ModeNone} {
+			ran := false
+			rep := NewEngine(Config{Mode: mode, Mem: MemFull, Sampling: s}).
+				Run(func(t *Task) { ran = true })
+			if !errors.Is(rep.Err, errBadSampling) {
+				t.Fatalf("Sampling %+v mode %v: want errBadSampling, got %v", s, mode, rep.Err)
+			}
+			if ran {
+				t.Fatalf("Sampling %+v mode %v: user code ran under a rejected config", s, mode)
+			}
+		}
+	}
+}
+
+// TestSamplingRateOneFindsRace pins the rate-1.0 contract at the engine
+// level: identical races and counters, SampledAccesses > 0.
+func TestSamplingRateOneFindsRace(t *testing.T) {
+	full := NewEngine(Config{Mode: ModeMultiBags, Mem: MemFull}).Run(racySamplingProg)
+	smp := NewEngine(Config{Mode: ModeMultiBags, Mem: MemFull,
+		Sampling: Sampling{Rate: 1.0, Seed: 1}}).Run(racySamplingProg)
+	if full.Err != nil || smp.Err != nil {
+		t.Fatalf("errs: %v / %v", full.Err, smp.Err)
+	}
+	if len(full.Races) != 1 || len(smp.Races) != 1 || full.Races[0] != smp.Races[0] {
+		t.Fatalf("races diverge: full %v, sampled %v", full.Races, smp.Races)
+	}
+	if smp.Stats.Shadow.SampledAccesses == 0 {
+		t.Fatal("rate 1.0 sampled nothing")
+	}
+	fs, ss := full.Stats, smp.Stats
+	ss.Shadow.SampledAccesses = 0
+	if fs != ss {
+		t.Fatalf("stats diverge beyond SampledAccesses:\nfull    %+v\nsampled %+v", fs, ss)
+	}
+}
+
+// TestSamplingOnlyUnderMemFull pins the plumbing boundary: the sampler
+// only exists where the protocol runs, so MemInstr and MemOff runs carry
+// a Sampling config harmlessly with zero sampling counters.
+func TestSamplingOnlyUnderMemFull(t *testing.T) {
+	for _, mem := range []MemLevel{MemOff, MemInstr} {
+		rep := NewEngine(Config{Mode: ModeMultiBags, Mem: mem,
+			Sampling: Sampling{Rate: 0.5, Budget: 3, Seed: 9}}).Run(racySamplingProg)
+		if rep.Err != nil {
+			t.Fatalf("mem %v: %v", mem, rep.Err)
+		}
+		if s := rep.Stats.Shadow; s.SampledAccesses != 0 || s.SkippedByBudget != 0 {
+			t.Fatalf("mem %v: sampler engaged without a protocol: %+v", mem, s)
+		}
+	}
+}

@@ -142,7 +142,16 @@ var _ [1]struct{} = [unsafe.Sizeof(word{}) - WordBytes + 1]struct{}{}
 // construct and would exhaust memory long before).
 const spillFlag core.StrandID = 1 << 31
 
-type page [pageSize]word
+// page is one densely allocated run of shadow words plus the page-level
+// sampling coupon (a packed generation-tag + remaining-budget word, see
+// sampler.go). The struct stays pointer-free, so pages still allocate in
+// noscan spans. The coupon is atomic because workers of one fan-out may
+// share a page (never a word); the serial path pays an uncontended CAS
+// only on sampled accesses under a finite budget.
+type page struct {
+	w      [pageSize]word
+	coupon atomic.Uint64
+}
 
 // directory is one node of the flat page table's second level. Entries are
 // atomic pointers so the parallel range path can materialize pages while
@@ -232,7 +241,13 @@ type History struct {
 	epochDeflations uint64 // inflated → flushed (write install) transitions
 	parRanges       uint64 // range ops that actually fanned out
 	parChunks       uint64 // chunks processed across all fan-outs
+	sampledAccesses uint64 // slow-path accesses admitted by the sampler
+	budgetSkips     uint64 // rate-admitted accesses denied a page coupon
 	touched         uint64 // Touch checksum; keeps the instr config honest
+
+	// smp is the tier-1 access sampler (sampler.go); the zero value is
+	// disarmed and every access pays the full protocol.
+	smp sampler
 
 	// faults is the run's fault-injection plan (nil in production): its
 	// only probe here is PageFail, fired at page materialization to model
@@ -338,7 +353,7 @@ func (h *History) ResetBatchCaches() {
 }
 
 func (h *History) wordFor(addr uint64) *word {
-	return &h.pageFor(addr >> PageBits)[addr&pageMask]
+	return &h.pageFor(addr >> PageBits).w[addr&pageMask]
 }
 
 // Touch decodes addr into its page and slot indices without maintaining
@@ -571,14 +586,14 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 		} else {
 			p = h.pageFor(pn)
 		}
-		w := &p[addr&pageMask]
+		w := &p.w[addr&pageMask]
 		switch {
 		case w.lastWriter == s:
 			h.ownedSkips++ // epoch fast path: s reads its own last write
 		case w.lastReader == s:
 			h.readSharedSkips++ // read epoch: s's own stamp, still proven
 		default:
-			h.readWordSlow(w, addr, s, ctx)
+			h.readWordSlow(w, p, addr, s, ctx)
 		}
 		return
 	}
@@ -595,7 +610,7 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 		} else {
 			p = h.pageFor(pn)
 		}
-		ws := p[slot : slot+n]
+		ws := p.w[slot : slot+n]
 		for i := range ws {
 			w := &ws[i]
 			switch {
@@ -604,7 +619,7 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 			case w.lastReader == s:
 				h.readSharedSkips++ // read epoch: s's own stamp, still proven
 			default:
-				h.readWordSlow(w, addr+uint64(i), s, ctx)
+				h.readWordSlow(w, p, addr+uint64(i), s, ctx)
 			}
 		}
 		words -= n
@@ -623,10 +638,17 @@ func (h *History) ReadRange(addr uint64, words int, s core.StrandID, ctx *Ctx) {
 // it, and the transfer promises the same verdict holds for s. Either way a
 // race-free completion appends s to the reader list and re-stamps, so the
 // word's racer-identity state matches the reference protocol exactly.
-func (h *History) readWordSlow(w *word, addr uint64, s core.StrandID, ctx *Ctx) {
+//
+// With sampling armed, a read the free tiers could not resolve consults
+// the sampler before paying the writer query; an unsampled read skips the
+// verdict (a race here is missed) but still installs its reader state
+// below, so later sampled queries see exact racer identity.
+func (h *History) readWordSlow(w *word, p *page, addr uint64, s core.StrandID, ctx *Ctx) {
 	if w.lastWriter != core.NoStrand {
 		if r := w.lastReader; r != core.NoStrand && h.epochOrdered(r, s, ctx) {
 			h.epochHits++ // stamp verdict transfer: no writer query
+		} else if h.smp.on && !h.sampleSlow(p, addr, ctx.Gen) {
+			// Unsampled: fall through to the install below.
 		} else if !h.precedes(w.lastWriter, s, ctx) {
 			ctx.OnReadRace(addr, Racer{Prev: w.lastWriter, PrevWrite: true}, s)
 			return // racy read is not appended (reference protocol), not stamped
@@ -664,14 +686,14 @@ func (h *History) WriteRange(addr uint64, words int, s core.StrandID, ctx *Ctx) 
 		} else {
 			p = h.pageFor(pn)
 		}
-		w := &p[addr&pageMask]
+		w := &p.w[addr&pageMask]
 		if w.reader0 == core.NoStrand && (w.lastWriter == s || w.lastWriter == core.NoStrand) {
 			// Epoch fast path: owner rewrite or first write to a fresh
 			// word with no readers — no protocol to run.
 			w.lastWriter = s
 			h.ownedSkips++
 		} else {
-			h.writeSlow(w, addr, s, ctx)
+			h.writeSlow(w, p, addr, s, ctx)
 		}
 		return
 	}
@@ -688,7 +710,7 @@ func (h *History) WriteRange(addr uint64, words int, s core.StrandID, ctx *Ctx) 
 		} else {
 			p = h.pageFor(pn)
 		}
-		ws := p[slot : slot+n]
+		ws := p.w[slot : slot+n]
 		for i := range ws {
 			w := &ws[i]
 			// Epoch fast path: with no readers to check, a rewrite by the
@@ -699,7 +721,7 @@ func (h *History) WriteRange(addr uint64, words int, s core.StrandID, ctx *Ctx) 
 				w.lastWriter = s
 				h.ownedSkips++
 			} else {
-				h.writeSlow(w, addr+uint64(i), s, ctx)
+				h.writeSlow(w, p, addr+uint64(i), s, ctx)
 			}
 		}
 		words -= n
@@ -713,7 +735,16 @@ func (h *History) WriteRange(addr uint64, words int, s core.StrandID, ctx *Ctx) 
 // writeSlow is the full write protocol for one word. Like the reference
 // Write, a racing write installs itself after reporting so one logical
 // race cannot re-report on every later access of the address.
-func (h *History) writeSlow(w *word, addr uint64, s core.StrandID, ctx *Ctx) {
+//
+// With sampling armed, the sampler is consulted before any query; an
+// unsampled write skips every verdict but still installs itself (readers
+// flushed, s becomes the last writer) — the exact end state of a
+// race-free protocol run, so later sampled queries are unaffected.
+func (h *History) writeSlow(w *word, p *page, addr uint64, s core.StrandID, ctx *Ctx) {
+	if h.smp.on && !h.sampleSlow(p, addr, ctx.Gen) {
+		h.installWriter(w, addr, s)
+		return
+	}
 	if prev := w.lastWriter; prev != core.NoStrand && prev != s && !h.precedes(prev, s, ctx) {
 		h.installWriter(w, addr, s)
 		ctx.OnWriteRace(addr, Racer{Prev: prev, PrevWrite: true}, s)
@@ -772,6 +803,14 @@ type Stats struct {
 	// pool; ParChunks counts the chunks processed across all fan-outs.
 	ParRanges uint64
 	ParChunks uint64
+	// SampledAccesses counts slow-path accesses the tier-1 sampler
+	// admitted to the full protocol; SkippedByBudget counts rate-admitted
+	// accesses denied by an exhausted per-page coupon budget. Both are
+	// zero when sampling is disarmed, and SampledAccesses at rate 1.0
+	// (unlimited budget) equals the number of protocol-bound slow-path
+	// accesses — deterministic for every pipeline configuration.
+	SampledAccesses uint64
+	SkippedByBudget uint64
 }
 
 // Stats returns the history's counters. Called on a quiescent history
@@ -796,5 +835,7 @@ func (h *History) Stats() Stats {
 		SpillEntries:    spillEntries,
 		ParRanges:       h.parRanges,
 		ParChunks:       h.parChunks,
+		SampledAccesses: h.sampledAccesses,
+		SkippedByBudget: h.budgetSkips,
 	}
 }

@@ -180,6 +180,8 @@ type chunkState struct {
 	epochDeflations uint64
 	parRanges       uint64
 	parChunks       uint64
+	sampledAccesses uint64
+	budgetSkips     uint64
 	touched         uint64
 }
 
@@ -199,6 +201,8 @@ func (c *chunkState) addCounters(o *chunkState) {
 	c.epochDeflations += o.epochDeflations
 	c.parRanges += o.parRanges
 	c.parChunks += o.parChunks
+	c.sampledAccesses += o.sampledAccesses
+	c.budgetSkips += o.budgetSkips
 	c.touched += o.touched
 }
 
@@ -245,7 +249,8 @@ func (c *chunkState) readRange(addr uint64, words int) {
 		if n > words {
 			n = words
 		}
-		ws := c.pageAt(addr >> PageBits)[slot : slot+n]
+		p := c.pageAt(addr >> PageBits)
+		ws := p.w[slot : slot+n]
 		for i := range ws {
 			w := &ws[i]
 			switch {
@@ -254,7 +259,7 @@ func (c *chunkState) readRange(addr uint64, words int) {
 			case w.lastReader == c.s:
 				c.readSharedSkips++ // read epoch: s's own stamp, still proven
 			default:
-				c.readWordSlow(w, addr+uint64(i))
+				c.readWordSlow(w, p, addr+uint64(i))
 			}
 		}
 		words -= n
@@ -265,12 +270,14 @@ func (c *chunkState) readRange(addr uint64, words int) {
 	}
 }
 
-// readWordSlow mirrors History.readWordSlow with worker-local memo and
-// counters and a locked spill path.
-func (c *chunkState) readWordSlow(w *word, addr uint64) {
+// readWordSlow mirrors History.readWordSlow — sampler consult included —
+// with worker-local memo and counters and a locked spill path.
+func (c *chunkState) readWordSlow(w *word, p *page, addr uint64) {
 	if w.lastWriter != core.NoStrand {
 		if r := w.lastReader; r != core.NoStrand && c.epochOrdered(r) {
 			c.epochHits++ // stamp verdict transfer: no writer query
+		} else if c.h.smp.on && !c.sampleSlow(p, addr) {
+			// Unsampled: fall through to the install below.
 		} else if !c.precedes(w.lastWriter) {
 			c.events = append(c.events, parEvent{addr, Racer{Prev: w.lastWriter, PrevWrite: true}})
 			return // racy read is not appended (reference protocol), not stamped
@@ -319,14 +326,15 @@ func (c *chunkState) writeRange(addr uint64, words int) {
 		if n > words {
 			n = words
 		}
-		ws := c.pageAt(addr >> PageBits)[slot : slot+n]
+		p := c.pageAt(addr >> PageBits)
+		ws := p.w[slot : slot+n]
 		for i := range ws {
 			w := &ws[i]
 			if w.reader0 == core.NoStrand && (w.lastWriter == c.s || w.lastWriter == core.NoStrand) {
 				w.lastWriter = c.s
 				c.ownedSkips++
 			} else {
-				c.writeSlow(w, addr+uint64(i))
+				c.writeSlow(w, p, addr+uint64(i))
 			}
 		}
 		words -= n
@@ -337,8 +345,13 @@ func (c *chunkState) writeRange(addr uint64, words int) {
 	}
 }
 
-// writeSlow mirrors History.writeSlow, including the post-race install.
-func (c *chunkState) writeSlow(w *word, addr uint64) {
+// writeSlow mirrors History.writeSlow, including the post-race install
+// and the sampler consult (an unsampled write installs without querying).
+func (c *chunkState) writeSlow(w *word, p *page, addr uint64) {
+	if c.h.smp.on && !c.sampleSlow(p, addr) {
+		c.installWriter(w, addr)
+		return
+	}
 	if prev := w.lastWriter; prev != core.NoStrand && prev != c.s && !c.precedes(prev) {
 		c.installWriter(w, addr)
 		c.events = append(c.events, parEvent{addr, Racer{Prev: prev, PrevWrite: true}})
@@ -561,6 +574,8 @@ func (h *History) foldInto(cs *chunkState) {
 	h.epochDeflations += cs.epochDeflations
 	h.parRanges += cs.parRanges
 	h.parChunks += cs.parChunks
+	h.sampledAccesses += cs.sampledAccesses
+	h.budgetSkips += cs.budgetSkips
 	h.touched += cs.touched
 }
 
